@@ -1,0 +1,1 @@
+bench/ablations.ml: Ack_shift Analyzer Conn_profile Dataset_cache Factors List Printf String Tdat Tdat_bgpsim Tdat_stats Tdat_tcpsim Tdat_timerange

@@ -1,0 +1,1 @@
+bench/dataset_cache.ml: Analyzer Detect_loss Detect_peer_group Detect_timer Detect_zero_ack Factors Hashtbl List Option Printf Tdat Tdat_bgpsim Tdat_pkt Tdat_timerange Transfer_id Unix

@@ -1,0 +1,1 @@
+bench/main.ml: Ablations Array Dataset_cache Experiments List Printf Speed Sys Unix

@@ -1,0 +1,1 @@
+bench/speed.ml: Analyze Bechamel Benchmark Hashtbl Instance Lazy List Measure Printf Staged Tdat Tdat_bgp Tdat_bgpsim Tdat_pkt Tdat_rng Tdat_timerange Test Time Toolkit

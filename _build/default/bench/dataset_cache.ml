@@ -1,0 +1,97 @@
+(* Runs the three synthetic datasets once, pushes every transfer through
+   the full T-DAT pipeline, and keeps one compact summary per transfer.
+   Every table/figure experiment reads from this cache, so the expensive
+   simulation happens exactly once per bench invocation. *)
+
+open Tdat
+module Fleet = Tdat_bgpsim.Fleet
+module Scenario = Tdat_bgpsim.Scenario
+
+type transfer = {
+  meta : Fleet.meta;
+  duration_s : float;  (** Table-transfer duration (MCT). *)
+  bytes : int;
+  packets : int;
+  r_sender : float;
+  r_receiver : float;
+  r_network : float;
+  major : Factors.group list;
+  factors : (Factors.factor * float) list;
+  dominant : Factors.factor option;
+  timer : Detect_timer.result option;
+  consec8 : int * Tdat_timerange.Time_us.t;
+      (** Episodes at the paper's threshold 8, and loss-recovery time. *)
+  consec4 : int;  (** Episodes at the scaled threshold 4. *)
+  blocked_delay : Tdat_timerange.Time_us.t;  (** Peer-group suspects. *)
+  zero_bug : Tdat_timerange.Time_us.t option;
+}
+
+type dataset_run = {
+  dataset : Fleet.dataset;
+  summary : Fleet.summary;
+  transfers : transfer list;
+}
+
+let analyze_record (r : Fleet.record) =
+  let o = r.Fleet.outcome in
+  let a =
+    Analyzer.analyze o.Scenario.trace ~flow:o.Scenario.flow ~mrt:o.Scenario.mrt
+  in
+  let duration_s =
+    match a.Analyzer.transfer with
+    | Some tr -> Tdat_timerange.Time_us.to_s (Transfer_id.duration tr)
+    | None -> 0.
+  in
+  let f = a.Analyzer.factors in
+  let group g = List.assoc g f.Factors.group_ratios in
+  let p = a.Analyzer.problems in
+  let cl = p.Analyzer.consecutive_losses in
+  let cl4 = Detect_loss.detect ~threshold:4 a.Analyzer.series in
+  {
+    meta = r.Fleet.meta;
+    duration_s;
+    bytes = Tdat_pkt.Trace.total_bytes o.Scenario.trace;
+    packets = Tdat_pkt.Trace.length o.Scenario.trace;
+    r_sender = group Factors.Sender;
+    r_receiver = group Factors.Receiver;
+    r_network = group Factors.Network;
+    major = f.Factors.major;
+    factors = f.Factors.ratios;
+    dominant = f.Factors.dominant;
+    timer = p.Analyzer.timer;
+    consec8 =
+      ( List.length cl.Detect_loss.episodes,
+        cl.Detect_loss.induced_delay );
+    consec4 = List.length cl4.Detect_loss.episodes;
+    blocked_delay =
+      Detect_peer_group.blocked_delay p.Analyzer.peer_group_suspects;
+    zero_bug =
+      Option.map (fun z -> z.Detect_zero_ack.total) p.Analyzer.zero_ack_bug;
+  }
+
+let run_dataset ?(scale = 1.0) dataset =
+  let transfers = ref [] in
+  let summary =
+    Fleet.run ~scale dataset ~f:(fun r ->
+        transfers := analyze_record r :: !transfers)
+  in
+  { dataset; summary; transfers = List.rev !transfers }
+
+let cache : (Fleet.dataset, dataset_run) Hashtbl.t = Hashtbl.create 3
+let scale_ref = ref 1.0
+
+let get dataset =
+  match Hashtbl.find_opt cache dataset with
+  | Some run -> run
+  | None ->
+      Printf.printf "[bench] synthesizing %s (scale %.2f)...\n%!"
+        (Fleet.name dataset) !scale_ref;
+      let t0 = Unix.gettimeofday () in
+      let run = run_dataset ~scale:!scale_ref dataset in
+      Printf.printf "[bench] %s: %d transfers in %.1fs\n%!"
+        (Fleet.name dataset) run.summary.Fleet.transfers
+        (Unix.gettimeofday () -. t0);
+      Hashtbl.add cache dataset run;
+      run
+
+let all () = List.map get Fleet.all

@@ -1,0 +1,867 @@
+(* One reproduction per table and figure of the paper.  Each experiment
+   prints the paper's published numbers next to what the synthetic
+   datasets + T-DAT measure, so shape comparisons are immediate. *)
+
+open Tdat
+module Fleet = Tdat_bgpsim.Fleet
+module Scenario = Tdat_bgpsim.Scenario
+module Collector = Tdat_bgpsim.Collector
+module Connection = Tdat_tcpsim.Connection
+module Tcp_types = Tdat_tcpsim.Tcp_types
+module Seg = Tdat_pkt.Tcp_segment
+module Span = Tdat_timerange.Span
+module D = Series_defs
+module C = Dataset_cache
+
+let header title =
+  Printf.printf "\n%s\n%s\n%s\n" (String.make 78 '=') title (String.make 78 '=')
+
+let sub title = Printf.printf "\n-- %s --\n" title
+
+let pct a b = if b = 0 then 0. else 100. *. float_of_int a /. float_of_int b
+
+(* ---------------------------------------------------------------------- *)
+(* Table I: dataset summary                                                *)
+(* ---------------------------------------------------------------------- *)
+
+let table1 () =
+  header
+    "Table I: summary of BGP/TCP datasets and identified table transfers";
+  Printf.printf
+    "paper   : ISP_A-1 (Vendor, iBGP)  24 rtrs 1023M pkts/218GB  10396 transfers\n";
+  Printf.printf
+    "          ISP_A-2 (Quagga, iBGP)  27 rtrs 2697M pkts/438GB    436 transfers\n";
+  Printf.printf
+    "          RV      (Vendor, eBGP)  59 rtrs  176M pkts/ 47GB     94 transfers\n";
+  Printf.printf
+    "(counts scaled: ISP_A-1 at 1/10 of the paper; tables ~1/50 size)\n\n";
+  Printf.printf "%-18s %6s %9s %9s %9s %10s %6s\n" "measured" "rtrs" "pkts"
+    "MB" "transfers" "mrt-upd" "tcp";
+  List.iter
+    (fun (run : C.dataset_run) ->
+      let s = run.C.summary in
+      Printf.printf "%-18s %6d %9d %9.1f %9d %10d %6s\n"
+        (Fleet.name run.C.dataset)
+        s.Fleet.routers s.Fleet.packets
+        (float_of_int s.Fleet.bytes /. 1e6)
+        s.Fleet.transfers s.Fleet.mrt_updates
+        (match Fleet.collector_kind run.C.dataset with
+        | Collector.Quagga -> "yes"
+        | Collector.Vendor -> "yes"))
+    (C.all ())
+
+(* ---------------------------------------------------------------------- *)
+(* Fig 3: CDF of table transfer duration                                   *)
+(* ---------------------------------------------------------------------- *)
+
+let durations run =
+  List.filter_map
+    (fun t -> if t.C.duration_s > 0. then Some t.C.duration_s else None)
+    run.C.transfers
+
+let fig3 () =
+  header "Fig 3: CDF of table transfer duration";
+  Printf.printf
+    "paper: most transfers finish within minutes; ISP_A (Quagga) and RV have\n\
+    \       50-pct at ~2.5 min and 80-pct at ~5 min; tails beyond 10 min.\n\
+     measured (scaled tables => seconds instead of minutes; shape holds):\n";
+  let series =
+    List.map
+      (fun run ->
+        let d = durations run in
+        Printf.printf
+          "  %-18s n=%4d  p50=%6.1fs  p80=%6.1fs  p95=%6.1fs  max=%6.1fs\n"
+          (Fleet.name run.C.dataset) (List.length d)
+          (Tdat_stats.Descriptive.percentile 50. d)
+          (Tdat_stats.Descriptive.percentile 80. d)
+          (Tdat_stats.Descriptive.percentile 95. d)
+          (Tdat_stats.Descriptive.percentile 100. d);
+        ( Fleet.name run.C.dataset,
+          Tdat_stats.Cdf.points
+            (Tdat_stats.Cdf.of_samples (List.map (fun s -> min s 60.) d)) ))
+      (C.all ())
+  in
+  print_string
+    (Tdat_stats.Ascii_plot.cdf ~x_label:"duration (s, clamped at 60)" series)
+
+(* ---------------------------------------------------------------------- *)
+(* Fig 4: stretch of table transfers                                       *)
+(* ---------------------------------------------------------------------- *)
+
+let stretches run =
+  (* Per router: slowest / fastest among transfers carrying a similar
+     amount of data (within 25% of the router's median bytes). *)
+  let by_router = Hashtbl.create 32 in
+  List.iter
+    (fun t ->
+      if t.C.duration_s > 0. then
+        Hashtbl.replace by_router t.C.meta.Fleet.router_id
+          (t
+          :: Option.value ~default:[]
+               (Hashtbl.find_opt by_router t.C.meta.Fleet.router_id)))
+    run.C.transfers;
+  Hashtbl.fold
+    (fun _ ts acc ->
+      let bytes = List.map (fun t -> float_of_int t.C.bytes) ts in
+      match bytes with
+      | [] -> acc
+      | _ ->
+          let med = Tdat_stats.Descriptive.median bytes in
+          let similar =
+            List.filter
+              (fun t ->
+                let b = float_of_int t.C.bytes in
+                b > 0.75 *. med && b < 1.25 *. med)
+              ts
+          in
+          if List.length similar >= 2 then begin
+            let ds = List.map (fun t -> t.C.duration_s) similar in
+            let lo = List.fold_left min infinity ds in
+            let hi = List.fold_left max 0. ds in
+            if lo > 0. then (hi /. lo) :: acc else acc
+          end
+          else acc)
+    by_router []
+
+let fig4 () =
+  header "Fig 4: stretch of table transfers (slowest/fastest per router)";
+  Printf.printf
+    "paper: routers send the same table 2-5x slower than their own fastest;\n\
+    \       fraction of routers with stretch >= 2: 22%% / 59%% / 100%%\n\
+     measured:\n";
+  let series =
+    List.filter_map
+      (fun run ->
+        let s = stretches run in
+        if s = [] then None
+        else begin
+          let ge2 =
+            List.length (List.filter (fun x -> x >= 2.) s)
+          in
+          Printf.printf
+            "  %-18s routers=%3d  median=%4.1fx  max=%5.1fx  stretch>=2: %.0f%%\n"
+            (Fleet.name run.C.dataset) (List.length s)
+            (Tdat_stats.Descriptive.median s)
+            (List.fold_left max 0. s)
+            (pct ge2 (List.length s));
+          Some
+            ( Fleet.name run.C.dataset,
+              Tdat_stats.Cdf.points
+                (Tdat_stats.Cdf.of_samples (List.map (fun x -> min x 20.) s))
+            )
+        end)
+      (C.all ())
+  in
+  print_string
+    (Tdat_stats.Ascii_plot.cdf ~x_label:"stretch ratio (clamped at 20)" series)
+
+(* ---------------------------------------------------------------------- *)
+(* Table II: transport problems in sampled slow transfers                  *)
+(* ---------------------------------------------------------------------- *)
+
+let slow_sample run =
+  (* Per router: transfers slower than mean + 3 sd, else the slowest. *)
+  let by_router = Hashtbl.create 32 in
+  List.iter
+    (fun t ->
+      if t.C.duration_s > 0. then
+        Hashtbl.replace by_router t.C.meta.Fleet.router_id
+          (t
+          :: Option.value ~default:[]
+               (Hashtbl.find_opt by_router t.C.meta.Fleet.router_id)))
+    run.C.transfers;
+  Hashtbl.fold
+    (fun _ ts acc ->
+      let ds = List.map (fun t -> t.C.duration_s) ts in
+      let threshold = Tdat_stats.Descriptive.slow_threshold ds in
+      let slow = List.filter (fun t -> t.C.duration_s > threshold) ts in
+      let selected =
+        if slow <> [] then slow
+        else
+          [
+            List.fold_left
+              (fun best t ->
+                if t.C.duration_s > best.C.duration_s then t else best)
+              (List.hd ts) ts;
+          ]
+      in
+      selected @ acc)
+    by_router []
+
+let table2 () =
+  header "Table II: observed transport problems (sampled slow transfers)";
+  Printf.printf
+    "paper (172 sampled slow transfers across all traces):\n\
+    \  gaps in table transfers: 25   consecutive retransmissions: 58\n\
+    \  BGP peer-group blocking: 15\n\
+     measured:\n";
+  let sample = List.concat_map slow_sample (C.all ()) in
+  let gaps = List.filter (fun t -> t.C.timer <> None) sample in
+  let retx = List.filter (fun t -> t.C.consec4 > 0) sample in
+  let blocked = List.filter (fun t -> t.C.blocked_delay > 0) sample in
+  Printf.printf
+    "  sampled slow transfers: %d\n\
+    \  gaps in table transfers: %d   consecutive retransmissions: %d\n\
+    \  BGP peer-group blocking: %d\n"
+    (List.length sample) (List.length gaps) (List.length retx)
+    (List.length blocked)
+
+(* ---------------------------------------------------------------------- *)
+(* Fig 5: timer gaps in a table transfer (time-sequence view)              *)
+(* ---------------------------------------------------------------------- *)
+
+let fig5 () =
+  header "Fig 5: gaps in a table transfer (timer-driven sender)";
+  let result =
+    Scenario.run ~seed:501
+      [ Scenario.router ~table_prefixes:3000 ~timer_interval:200_000 ~quota:8 1 ]
+  in
+  let o = List.hd result.Scenario.outcomes in
+  let data =
+    Tdat_pkt.Trace.segments o.Scenario.trace |> List.filter Seg.is_data
+  in
+  let pts =
+    List.map
+      (fun (s : Seg.t) ->
+        (Tdat_timerange.Time_us.to_s s.Seg.ts, float_of_int (Seg.seq_end s)))
+      data
+  in
+  Printf.printf
+    "paper: the sender regularly pauses; gaps much longer than the RTT\n\
+     measured: sequence/time plot of one transfer (200 ms timer, quota 8):\n";
+  print_string
+    (Tdat_stats.Ascii_plot.curve ~x_label:"time (s)" ~y_label:"stream offset"
+       pts);
+  let a =
+    Analyzer.analyze o.Scenario.trace ~flow:o.Scenario.flow ~mrt:o.Scenario.mrt
+  in
+  match a.Analyzer.problems.Analyzer.timer with
+  | Some t ->
+      Printf.printf "detected timer: %.0f ms (%d gaps, %.2f s induced)\n"
+        (Tdat_timerange.Time_us.to_ms t.Detect_timer.timer)
+        t.Detect_timer.gaps
+        (Tdat_timerange.Time_us.to_s t.Detect_timer.induced_delay)
+  | None -> Printf.printf "detected timer: none (unexpected)\n"
+
+(* ---------------------------------------------------------------------- *)
+(* Fig 6 + Table III: consecutive retransmissions and delayed updates      *)
+(* ---------------------------------------------------------------------- *)
+
+let fig6_table3 () =
+  header "Fig 6 / Table III: consecutive retransmissions delay BGP updates";
+  let rng = Tdat_rng.Rng.create 42 in
+  let burst t0 len p =
+    Tdat_netsim.Loss.bernoulli_during (Tdat_rng.Rng.split rng)
+      (Tdat_timerange.Span_set.of_span (Span.v t0 (t0 + len)))
+      p
+  in
+  let loss =
+    Tdat_netsim.Loss.combine
+      (burst 300_000 250_000 0.75)
+      (burst 1_600_000 250_000 0.75)
+  in
+  let result =
+    Scenario.run ~seed:603
+      [
+        Scenario.router ~table_prefixes:25_000
+          ~upstream:(Connection.path ~delay:15_000 ~data_loss:loss ())
+          1;
+      ]
+  in
+  let o = List.hd result.Scenario.outcomes in
+  let a =
+    Analyzer.analyze o.Scenario.trace ~flow:o.Scenario.flow ~mrt:o.Scenario.mrt
+  in
+  let p = a.Analyzer.profile in
+  Printf.printf
+    "paper: two episodes of consecutive retransmissions; updates sent at the\n\
+    \       same instant arrive 1..13 s late\n\
+     measured: retransmission episodes on the wire:\n";
+  List.iter
+    (fun (e : Conn_profile.loss_episode) ->
+      Printf.printf "  episode: %2d pkts over [%6.2f .. %6.2f]s\n"
+        e.Conn_profile.packets
+        (Tdat_timerange.Time_us.to_s (Span.start e.Conn_profile.span))
+        (Tdat_timerange.Time_us.to_s (Span.stop e.Conn_profile.span)))
+    (p.Conn_profile.upstream_episodes @ p.Conn_profile.downstream_episodes);
+  (* Table III: delays of updates reconstructed from the trace, relative
+     to when the sender put them on the wire (batch write time). *)
+  sub "Table III-style rows: update arrival delay during the first episode";
+  let msgs =
+    Tdat_bgp.Msg_reader.extract_from_trace o.Scenario.trace
+      ~flow:o.Scenario.flow
+  in
+  let first_episode =
+    match p.Conn_profile.upstream_episodes @ p.Conn_profile.downstream_episodes
+    with
+    | e :: _ -> e.Conn_profile.span
+    | [] -> Span.v 0 1
+  in
+  let in_episode =
+    List.filter_map
+      (fun (m : Tdat_bgp.Msg_reader.timed_msg) ->
+        match m.Tdat_bgp.Msg_reader.msg with
+        | Tdat_bgp.Msg.Update u
+          when u.Tdat_bgp.Msg.nlri <> []
+               && Span.contains first_episode m.Tdat_bgp.Msg_reader.ts ->
+            Some (m.Tdat_bgp.Msg_reader.ts, u)
+        | _ -> None)
+      msgs
+  in
+  (* Sample rows evenly across the episode so the delay spread shows. *)
+  let n = List.length in_episode in
+  let rows = 8 in
+  List.iteri
+    (fun i (ts, u) ->
+      if n <= rows || i mod (max 1 (n / rows)) = 0 then begin
+        let delay =
+          Tdat_timerange.Time_us.to_s (ts - Span.start first_episode)
+        in
+        let prefix = List.hd u.Tdat_bgp.Msg.nlri in
+        let path =
+          List.find_map
+            (function Tdat_bgp.Attr.As_path p -> Some p | _ -> None)
+            u.Tdat_bgp.Msg.attrs
+        in
+        Printf.printf "  +%5.2fs  %-18s  path [%s]\n" delay
+          (Tdat_bgp.Prefix.to_string prefix)
+          (match path with
+          | Some p -> Format.asprintf "%a" Tdat_bgp.As_path.pp p
+          | None -> "-")
+      end)
+    in_episode;
+  if in_episode = [] then
+    Printf.printf "  (no updates completed inside the episode window)\n"
+
+(* ---------------------------------------------------------------------- *)
+(* Fig 7 / Fig 8: downstream vs upstream loss signatures                   *)
+(* ---------------------------------------------------------------------- *)
+
+let fig7_8 () =
+  header "Fig 7 / Fig 8: receiver-local (downstream) vs upstream losses";
+  let run_case name ~local_loss ~upstream_loss =
+    let rng = Tdat_rng.Rng.create 77 in
+    let burst =
+      Tdat_timerange.Span_set.of_span (Span.v 200_000 320_000)
+    in
+    let mk p =
+      if p then Tdat_netsim.Loss.bernoulli_during (Tdat_rng.Rng.split rng) burst 0.6
+      else Tdat_netsim.Loss.none
+    in
+    let result =
+      Scenario.run ~seed:708
+        ~collector_local:
+          (Connection.path ~delay:50 ~data_loss:(mk local_loss) ())
+        [
+          Scenario.router ~table_prefixes:20_000
+            ~upstream:
+              (Connection.path ~delay:10_000 ~data_loss:(mk upstream_loss) ())
+            1;
+        ]
+    in
+    let o = List.hd result.Scenario.outcomes in
+    let a =
+      Analyzer.analyze o.Scenario.trace ~flow:o.Scenario.flow
+        ~mrt:o.Scenario.mrt
+    in
+    let p = a.Analyzer.profile in
+    let count eps =
+      List.fold_left
+        (fun acc (e : Conn_profile.loss_episode) ->
+          acc + e.Conn_profile.packets)
+        0 eps
+    in
+    Printf.printf
+      "  %-28s upstream-classified: %2d pkts   downstream-classified: %2d pkts\n"
+      name
+      (count p.Conn_profile.upstream_episodes)
+      (count p.Conn_profile.downstream_episodes)
+  in
+  Printf.printf
+    "paper: losses after the sniffer leave seen-but-unacknowledged packets\n\
+    \       (downstream); losses before it leave sequence holes (upstream)\n\
+     measured (0.6 drop burst placed on each side of the sniffer):\n";
+  run_case "drops on the local link" ~local_loss:true ~upstream_loss:false;
+  run_case "drops on the upstream path" ~local_loss:false ~upstream_loss:true
+
+(* ---------------------------------------------------------------------- *)
+(* Fig 9: session failure and peer-group blocking                          *)
+(* ---------------------------------------------------------------------- *)
+
+let fig9 () =
+  header "Fig 9: session failure and peer-group blocking";
+  let r =
+    Scenario.router ~table_prefixes:4_000 ~timer_interval:200_000 ~quota:5
+      ~group_window:32 1
+  in
+  let pg =
+    Scenario.run_peer_group ~seed:909 ~vendor_fail_at:1_000_000
+      ~deadline:1_500_000_000 r
+  in
+  let q = pg.Scenario.quagga_outcome in
+  let v = pg.Scenario.vendor_outcome in
+  Printf.printf
+    "paper: vendor-collector error at t1 blocks the quagga member until the\n\
+    \       faulty session times out at t2 = t1 + ~180 s\n\
+     measured:\n";
+  Printf.printf "  vendor failure injected at t1 = 1.0 s\n";
+  (match pg.Scenario.vendor_removed_at with
+  | Some t ->
+      Printf.printf "  failed member removed at t2 = %.1f s (blocked %.1f s)\n"
+        (Tdat_timerange.Time_us.to_s t)
+        (Tdat_timerange.Time_us.to_s t -. 1.0)
+  | None -> Printf.printf "  failed member never removed (unexpected)\n");
+  let aq =
+    Analyzer.analyze q.Scenario.trace ~flow:q.Scenario.flow ~mrt:q.Scenario.mrt
+  in
+  let av = Analyzer.analyze v.Scenario.trace ~flow:v.Scenario.flow in
+  let confirmed =
+    Detect_peer_group.confirm aq.Analyzer.series ~other:av.Analyzer.series
+  in
+  Printf.printf "  quagga member: %d confirmed blocking period(s), %.1f s total\n"
+    (List.length confirmed)
+    (Tdat_timerange.Time_us.to_s (Detect_peer_group.blocked_delay confirmed));
+  (* Timeline of both members' update activity. *)
+  let activity trace =
+    Tdat_pkt.Trace.segments trace
+    |> List.filter (fun (s : Seg.t) -> s.Seg.len > 38)
+    |> List.map (fun (s : Seg.t) ->
+           let t = Tdat_timerange.Time_us.to_s s.Seg.ts in
+           (t, t +. 0.5))
+  in
+  print_string
+    (Tdat_stats.Ascii_plot.timeline ~window:(0., 220.)
+       [
+         ("quagga updates", activity q.Scenario.trace);
+         ("vendor updates", activity v.Scenario.trace);
+       ])
+
+(* ---------------------------------------------------------------------- *)
+(* Fig 11: example trace and derived event series                          *)
+(* ---------------------------------------------------------------------- *)
+
+let fig11 () =
+  header "Fig 11: example TCP trace and derived event series";
+  let rng = Tdat_rng.Rng.create 1111 in
+  let loss =
+    Tdat_netsim.Loss.bernoulli_during rng
+      (Tdat_timerange.Span_set.of_span (Span.v 900_000 1_050_000))
+      0.5
+  in
+  let result =
+    Scenario.run ~seed:1111
+      [
+        Scenario.router ~table_prefixes:12_000 ~timer_interval:100_000
+          ~quota:40
+          ~upstream:(Connection.path ~delay:8_000 ~data_loss:loss ())
+          1;
+      ]
+  in
+  let o = List.hd result.Scenario.outcomes in
+  let a =
+    Analyzer.analyze o.Scenario.trace ~flow:o.Scenario.flow ~mrt:o.Scenario.mrt
+  in
+  Printf.printf
+    "paper: square-wave series explain the inter-transmission gaps\n\
+     measured (one transfer with a mid-stream loss burst):\n";
+  print_string (Report.series_timeline a.Analyzer.series)
+
+(* ---------------------------------------------------------------------- *)
+(* Fig 12/13: ACK shifting                                                 *)
+(* ---------------------------------------------------------------------- *)
+
+let fig13 () =
+  header "Fig 12/13: accommodating the sniffer location (ACK-flight shift)";
+  let result =
+    Scenario.run ~seed:1313
+      [
+        Scenario.router ~table_prefixes:8_000
+          ~upstream:(Connection.path ~delay:40_000 ())
+          1;
+      ]
+  in
+  let o = List.hd result.Scenario.outcomes in
+  let profile =
+    Conn_profile.of_trace o.Scenario.trace ~flow:o.Scenario.flow
+  in
+  let _, infos = Ack_shift.shift profile in
+  Printf.printf
+    "paper: shift each ACK flight forward by the smallest d2 estimate in it\n\
+     measured: true sniffer->sender->sniffer round trip = ~80 ms\n\n";
+  Printf.printf "  %-10s %7s %9s %12s\n" "flight" "acks" "with-d2" "applied";
+  List.iteri
+    (fun i (s : Ack_shift.flight_shift) ->
+      if i < 12 then
+        Printf.printf "  %-10d %7d %9d %9.1f ms\n" (i + 1) s.Ack_shift.n_acks
+          s.Ack_shift.estimates
+          (Tdat_timerange.Time_us.to_ms s.Ack_shift.applied))
+    infos;
+  let applied =
+    List.filter_map
+      (fun (s : Ack_shift.flight_shift) ->
+        if s.Ack_shift.estimates > 0 then
+          Some (Tdat_timerange.Time_us.to_ms s.Ack_shift.applied)
+        else None)
+      infos
+  in
+  if applied <> [] then
+    Printf.printf "  median applied shift: %.1f ms (ground truth 80.1 ms)\n"
+      (Tdat_stats.Descriptive.median applied)
+
+(* ---------------------------------------------------------------------- *)
+(* Fig 14: sender/receiver delay-ratio scatter                             *)
+(* ---------------------------------------------------------------------- *)
+
+let fig14 () =
+  header "Fig 14: sender-side vs receiver-side delay ratios";
+  Printf.printf
+    "paper: ISP_A (Vendor) clusters at sender ratios 0.4-0.9; ISP_A (Quagga)\n\
+    \       hugs the x+y=1 line; RV is more spread out; network ratio ~0\n\
+     measured:\n";
+  List.iter
+    (fun (run : C.dataset_run) ->
+      let pts =
+        List.map (fun t -> (t.C.r_sender, t.C.r_receiver)) run.C.transfers
+      in
+      let mean_n =
+        Tdat_stats.Descriptive.mean
+          (List.map (fun t -> t.C.r_network) run.C.transfers)
+      in
+      Printf.printf "\n  %s (mean network ratio %.3f):\n"
+        (Fleet.name run.C.dataset) mean_n;
+      print_string
+        (Tdat_stats.Ascii_plot.scatter ~width:56 ~height:14 ~x_max:1.0
+           ~y_max:1.0 ~x_label:"sender ratio" ~y_label:"receiver ratio"
+           [ ('+', pts) ]))
+    (C.all ())
+
+(* ---------------------------------------------------------------------- *)
+(* Table IV: distribution of major delay factors                           *)
+(* ---------------------------------------------------------------------- *)
+
+let table4 () =
+  header "Table IV: major delay factors (threshold 30% of transfer duration)";
+  let paper = function
+    | Fleet.Isp_vendor ->
+        ( 10396,
+          [ ("Sender-side limited", 8525); ("Receiver-side limited", 4210);
+            ("Network limited", 24); ("Unknown", 20);
+            ("  BGP sender app", 5740); ("  TCP congestion window", 2785);
+            ("  BGP receiver app", 3391); ("  TCP advertised window", 758);
+            ("  Local packet loss (recv)", 61); ("  Bandwidth limited", 1);
+            ("  Network packet loss", 23) ] )
+    | Fleet.Isp_quagga ->
+        ( 436,
+          [ ("Sender-side limited", 295); ("Receiver-side limited", 242);
+            ("Network limited", 10); ("Unknown", 5);
+            ("  BGP sender app", 266); ("  TCP congestion window", 29);
+            ("  BGP receiver app", 204); ("  TCP advertised window", 37);
+            ("  Local packet loss (recv)", 1); ("  Bandwidth limited", 2);
+            ("  Network packet loss", 8) ] )
+    | Fleet.Routeviews ->
+        ( 94,
+          [ ("Sender-side limited", 79); ("Receiver-side limited", 40);
+            ("Network limited", 13); ("Unknown", 2);
+            ("  BGP sender app", 28); ("  TCP congestion window", 51);
+            ("  BGP receiver app", 0); ("  TCP advertised window", 24);
+            ("  Local packet loss (recv)", 16); ("  Bandwidth limited", 0);
+            ("  Network packet loss", 13) ] )
+  in
+  List.iter
+    (fun (run : C.dataset_run) ->
+      let ts = run.C.transfers in
+      let n = List.length ts in
+      let majors g = List.length (List.filter (fun t -> List.mem g t.C.major) ts) in
+      let unknown =
+        List.length (List.filter (fun t -> t.C.major = []) ts)
+      in
+      let factor_major f =
+        List.length
+          (List.filter (fun t -> List.assoc f t.C.factors > 0.3) ts)
+      in
+      let total_paper, rows = paper run.C.dataset in
+      sub (Fleet.name run.C.dataset);
+      Printf.printf "  %-28s %10s %10s\n" ""
+        (Printf.sprintf "paper/%d" total_paper)
+        (Printf.sprintf "measured/%d" n);
+      let measured =
+        [
+          ("Sender-side limited", majors Factors.Sender);
+          ("Receiver-side limited", majors Factors.Receiver);
+          ("Network limited", majors Factors.Network);
+          ("Unknown", unknown);
+          ("  BGP sender app", factor_major Factors.Bgp_sender_app);
+          ("  TCP congestion window", factor_major Factors.Tcp_cwnd);
+          ("  BGP receiver app", factor_major Factors.Bgp_receiver_app);
+          ("  TCP advertised window", factor_major Factors.Tcp_adv_window);
+          ("  Local packet loss (recv)", factor_major Factors.Recv_local_loss);
+          ("  Bandwidth limited", factor_major Factors.Bandwidth);
+          ("  Network packet loss", factor_major Factors.Network_loss);
+        ]
+      in
+      List.iter2
+        (fun (name, pv) (_, mv) ->
+          Printf.printf "  %-28s %6d (%4.0f%%) %6d (%4.0f%%)\n" name pv
+            (pct pv total_paper) mv (pct mv n))
+        rows measured)
+    (C.all ())
+
+(* ---------------------------------------------------------------------- *)
+(* Fig 15: concurrent table transfers vs receiver bottleneck               *)
+(* ---------------------------------------------------------------------- *)
+
+let fig15 () =
+  header "Fig 15: effect of concurrent table transfers on the receiver";
+  Printf.printf
+    "paper: below ~10 concurrent transfers the TCP receiver window binds\n\
+    \       slightly; beyond that the BGP receiver process becomes the\n\
+    \       bottleneck\n\
+     measured (ISP_A Quagga dataset, grouped by batch concurrency):\n\n";
+  let run = C.get Fleet.Isp_quagga in
+  let bins = [ (1, 1); (2, 5); (6, 10); (11, 20); (21, 40) ] in
+  Printf.printf "  %-12s %9s %14s %14s\n" "concurrent" "transfers"
+    "BGP recv ratio" "TCP recv ratio";
+  List.iter
+    (fun (lo, hi) ->
+      let ts =
+        List.filter
+          (fun t ->
+            t.C.meta.Fleet.concurrent >= lo && t.C.meta.Fleet.concurrent <= hi)
+          run.C.transfers
+      in
+      if ts <> [] then begin
+        let mean f = Tdat_stats.Descriptive.mean (List.map f ts) in
+        Printf.printf "  %4d..%-6d %9d %14.3f %14.3f\n" lo hi (List.length ts)
+          (mean (fun t -> List.assoc Factors.Bgp_receiver_app t.C.factors))
+          (mean (fun t -> List.assoc Factors.Tcp_adv_window t.C.factors))
+      end)
+    bins
+
+(* ---------------------------------------------------------------------- *)
+(* Fig 16: transfer duration CDF by dominant delay factor                  *)
+(* ---------------------------------------------------------------------- *)
+
+let fig16 () =
+  header "Fig 16: table transfer duration by dominant delay factor";
+  Printf.printf
+    "paper: receiver-window-limited transfers are fastest, then congestion\n\
+    \       window; loss-limited and BGP-app-limited transfers are slowest\n\
+     measured (all datasets pooled):\n";
+  let ts = List.concat_map (fun r -> r.C.transfers) (C.all ()) in
+  let classes =
+    [
+      ("TCP recv window", fun f -> f = Factors.Tcp_adv_window);
+      ("TCP cong. window", fun f -> f = Factors.Tcp_cwnd);
+      ( "packet loss",
+        fun f ->
+          f = Factors.Recv_local_loss || f = Factors.Network_loss
+          || f = Factors.Send_local_loss );
+      ( "BGP app",
+        fun f -> f = Factors.Bgp_sender_app || f = Factors.Bgp_receiver_app );
+    ]
+  in
+  let series =
+    List.filter_map
+      (fun (name, pred) ->
+        let ds =
+          List.filter_map
+            (fun t ->
+              match t.C.dominant with
+              | Some f when pred f && t.C.duration_s > 0. ->
+                  Some t.C.duration_s
+              | _ -> None)
+            ts
+        in
+        if List.length ds < 3 then None
+        else begin
+          Printf.printf "  %-18s n=%4d  p50=%6.1fs  p90=%6.1fs\n" name
+            (List.length ds)
+            (Tdat_stats.Descriptive.percentile 50. ds)
+            (Tdat_stats.Descriptive.percentile 90. ds);
+          Some
+            ( name,
+              Tdat_stats.Cdf.points
+                (Tdat_stats.Cdf.of_samples (List.map (fun d -> min d 60.) ds))
+            )
+        end)
+      classes
+  in
+  print_string
+    (Tdat_stats.Ascii_plot.cdf ~x_label:"duration (s, clamped at 60)" series)
+
+(* ---------------------------------------------------------------------- *)
+(* Fig 17: inferring BGP timers from the gap distribution                  *)
+(* ---------------------------------------------------------------------- *)
+
+let fig17 () =
+  header "Fig 17: inferring BGP timers from the gap-length distribution";
+  (* One pronounced transfer for the example curve. *)
+  let result =
+    Scenario.run ~seed:1717
+      [ Scenario.router ~table_prefixes:6_000 ~timer_interval:200_000 ~quota:10 1 ]
+  in
+  let o = List.hd result.Scenario.outcomes in
+  let a =
+    Analyzer.analyze o.Scenario.trace ~flow:o.Scenario.flow ~mrt:o.Scenario.mrt
+  in
+  let gaps = Detect_timer.gap_distribution a.Analyzer.series in
+  Printf.printf
+    "paper: a knee in the sorted gap curve marks the timer (200 ms example);\n\
+    \       timers found: ISP_A(Vendor) 200/400, ISP_A(Quagga) 100/200,\n\
+    \       RV 80/400 ms, with 200 ms the most prevalent overall\n\
+     measured example (sorted gap lengths of one transfer):\n";
+  print_string
+    (Tdat_stats.Ascii_plot.curve ~x_label:"gap rank" ~y_label:"gap (s)"
+       (List.mapi (fun i g -> (float_of_int i, g)) gaps));
+  (match a.Analyzer.problems.Analyzer.timer with
+  | Some t ->
+      Printf.printf "  knee-detected timer: %.0f ms\n"
+        (Tdat_timerange.Time_us.to_ms t.Detect_timer.timer)
+  | None -> Printf.printf "  no timer detected (unexpected)\n");
+  (* Timer values recovered per dataset. *)
+  sub "timers inferred across the datasets (count by rounded value)";
+  List.iter
+    (fun (run : C.dataset_run) ->
+      let tally = Hashtbl.create 8 in
+      List.iter
+        (fun t ->
+          match t.C.timer with
+          | Some d ->
+              (* Round to the nearest 20 ms bucket. *)
+              let ms =
+                int_of_float (Tdat_timerange.Time_us.to_ms d.Detect_timer.timer)
+              in
+              let v = (ms + 10) / 20 * 20 in
+              Hashtbl.replace tally v
+                (1 + Option.value ~default:0 (Hashtbl.find_opt tally v))
+          | None -> ())
+        run.C.transfers;
+      let entries =
+        Hashtbl.fold (fun v n acc -> (v, n) :: acc) tally []
+        |> List.sort compare
+      in
+      Printf.printf "  %-18s %s\n"
+        (Fleet.name run.C.dataset)
+        (String.concat "  "
+           (List.map (fun (v, n) -> Printf.sprintf "%dms x%d" v n) entries)))
+    (C.all ())
+
+(* ---------------------------------------------------------------------- *)
+(* Table V: identified problems and average induced delay                  *)
+(* ---------------------------------------------------------------------- *)
+
+let table5 () =
+  header "Table V: identified problems and average induced delays";
+  let paper = function
+    | Fleet.Isp_vendor -> (10396, (857, 7.31), (2092, 5.14), (8, 134.53))
+    | Fleet.Isp_quagga -> (436, (74, 16.25), (176, 4.52), (8, 129.72))
+    | Fleet.Routeviews -> (94, (7, 19.40), (29, 31.15), (3, 94.37))
+  in
+  List.iter
+    (fun (run : C.dataset_run) ->
+      let ts = run.C.transfers in
+      let n = List.length ts in
+      let total_p, (g_n, g_d), (c_n, c_d), (b_n, b_d) = paper run.C.dataset in
+      let timers = List.filter (fun t -> t.C.timer <> None) ts in
+      let timer_delay =
+        match timers with
+        | [] -> 0.
+        | _ ->
+            Tdat_stats.Descriptive.mean
+              (List.map
+                 (fun t ->
+                   match t.C.timer with
+                   | Some d ->
+                       Tdat_timerange.Time_us.to_s d.Detect_timer.induced_delay
+                   | None -> 0.)
+                 timers)
+      in
+      let consec8 = List.filter (fun t -> fst t.C.consec8 > 0) ts in
+      let consec4 = List.filter (fun t -> t.C.consec4 > 0) ts in
+      let consec_delay sample =
+        match sample with
+        | [] -> 0.
+        | _ ->
+            Tdat_stats.Descriptive.mean
+              (List.map
+                 (fun t -> Tdat_timerange.Time_us.to_s (snd t.C.consec8))
+                 sample)
+      in
+      let blocked = List.filter (fun t -> t.C.blocked_delay > 0) ts in
+      let blocked_delay =
+        match blocked with
+        | [] -> 0.
+        | _ ->
+            Tdat_stats.Descriptive.mean
+              (List.map
+                 (fun t -> Tdat_timerange.Time_us.to_s t.C.blocked_delay)
+                 blocked)
+      in
+      sub (Fleet.name run.C.dataset);
+      Printf.printf "  transfers: paper %d, measured %d\n" total_p n;
+      Printf.printf
+        "  gaps in transfers:    paper %4d (%6.2f s avg)   measured %4d (%6.2f s avg)\n"
+        g_n g_d (List.length timers) timer_delay;
+      Printf.printf
+        "  consecutive losses:   paper %4d (%6.2f s avg)   measured %4d@8 / %d@4 (%6.2f s avg)\n"
+        c_n c_d (List.length consec8) (List.length consec4)
+        (consec_delay (if consec8 <> [] then consec8 else consec4));
+      Printf.printf
+        "  peer-group blocking:  paper %4d (%6.2f s avg)   measured %4d (%6.2f s avg)\n"
+        b_n b_d (List.length blocked) blocked_delay;
+      let zero = List.filter (fun t -> t.C.zero_bug <> None) ts in
+      Printf.printf "  zero-window ack bug conflicts: %d transfer(s)\n"
+        (List.length zero))
+    (C.all ())
+
+(* ---------------------------------------------------------------------- *)
+(* Table VI: analysis tool-suite performance                               *)
+(* ---------------------------------------------------------------------- *)
+
+let table6 () =
+  header "Table VI: analysis tool suite / processing performance";
+  Printf.printf
+    "paper: Perl prototype, ~5500 LoC; processes the 47 GB RV trace in 64\n\
+    \       minutes (~26 s per TCP connection on average)\n\
+     measured (this OCaml implementation):\n";
+  (* Measure the pure analysis phase on a medium connection trace. *)
+  let result =
+    Scenario.run ~seed:6006
+      [ Scenario.router ~table_prefixes:20_000 ~timer_interval:100_000 ~quota:50 1 ]
+  in
+  let o = List.hd result.Scenario.outcomes in
+  let reps = 50 in
+  let t0 = Unix.gettimeofday () in
+  for _ = 1 to reps do
+    ignore
+      (Analyzer.analyze o.Scenario.trace ~flow:o.Scenario.flow
+         ~mrt:o.Scenario.mrt)
+  done;
+  let per_conn = (Unix.gettimeofday () -. t0) /. float_of_int reps in
+  Printf.printf
+    "  full pipeline on a %d-packet connection: %.1f ms per connection\n"
+    (Tdat_pkt.Trace.length o.Scenario.trace)
+    (1000. *. per_conn);
+  Printf.printf
+    "  (run `bench/main.exe speed` for per-stage Bechamel microbenchmarks)\n"
+
+let registry =
+  [
+    ("table1", table1);
+    ("fig3", fig3);
+    ("fig4", fig4);
+    ("table2", table2);
+    ("fig5", fig5);
+    ("fig6_table3", fig6_table3);
+    ("fig7_8", fig7_8);
+    ("fig9", fig9);
+    ("fig11", fig11);
+    ("fig13", fig13);
+    ("fig14", fig14);
+    ("table4", table4);
+    ("fig15", fig15);
+    ("fig16", fig16);
+    ("fig17", fig17);
+    ("table5", table5);
+    ("table6", table6);
+  ]

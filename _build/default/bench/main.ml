@@ -1,0 +1,50 @@
+(* Reproduction harness: regenerates every table and figure of the paper
+   from the synthetic datasets.
+
+   Usage:
+     bench/main.exe                 run every experiment
+     bench/main.exe <name> ...      run selected experiments (see list)
+     bench/main.exe speed           Bechamel microbenchmarks
+     bench/main.exe --scale 0.2     scale the dataset sizes (faster runs)
+     bench/main.exe --list          list experiment names *)
+
+let registry = Experiments.registry @ Ablations.registry
+
+let usage () =
+  print_endline "experiments:";
+  List.iter (fun (n, _) -> Printf.printf "  %s\n" n) registry;
+  print_endline "  speed"
+
+let () =
+  let args = Array.to_list Sys.argv |> List.tl in
+  let rec parse todo = function
+    | [] -> List.rev todo
+    | "--list" :: _ ->
+        usage ();
+        exit 0
+    | "--scale" :: v :: rest ->
+        Dataset_cache.scale_ref := float_of_string v;
+        parse todo rest
+    | x :: rest -> parse (x :: todo) rest
+  in
+  let selected = parse [] args in
+  let t0 = Unix.gettimeofday () in
+  (match selected with
+  | [] ->
+      List.iter (fun (_, f) -> f ()) registry;
+      Speed.run ()
+  | [ "speed" ] -> Speed.run ()
+  | names ->
+      List.iter
+        (fun name ->
+          if name = "speed" then Speed.run ()
+          else
+            match List.assoc_opt name registry with
+            | Some f -> f ()
+            | None ->
+                Printf.eprintf "unknown experiment %S\n" name;
+                usage ();
+                exit 1)
+        names);
+  Printf.printf "\n[bench] total wall time: %.1f s\n"
+    (Unix.gettimeofday () -. t0)

@@ -1,0 +1,68 @@
+(* pcap2bgp: reconstruct the TCP byte stream from a packet trace, extract
+   the BGP messages, and archive them as MRT records — the side tool of
+   Section II-A, used for Vendor collectors that keep no archive. *)
+
+open Cmdliner
+
+let convert pcap_path out_path peer_as local_as =
+  let trace = Tdat_pkt.Pcap.of_file pcap_path in
+  let connections = Tdat_pkt.Trace.connections trace in
+  if connections = [] then begin
+    prerr_endline "no TCP connections found";
+    1
+  end
+  else begin
+    let records =
+      List.concat_map
+        (fun key ->
+          let flow = Tdat_pkt.Trace.infer_sender trace key in
+          let sub =
+            Tdat_pkt.Trace.split_connection trace
+              ~sender:flow.Tdat_pkt.Flow.sender
+              ~receiver:flow.Tdat_pkt.Flow.receiver
+          in
+          Tdat_bgp.Msg_reader.extract_from_trace sub ~flow
+          |> List.map (fun (m : Tdat_bgp.Msg_reader.timed_msg) ->
+                 {
+                   Tdat_bgp.Mrt.ts = m.Tdat_bgp.Msg_reader.ts;
+                   peer_as;
+                   local_as;
+                   peer_ip = flow.Tdat_pkt.Flow.sender.Tdat_pkt.Endpoint.ip;
+                   local_ip = flow.Tdat_pkt.Flow.receiver.Tdat_pkt.Endpoint.ip;
+                   msg = m.Tdat_bgp.Msg_reader.msg;
+                 }))
+        connections
+    in
+    let records =
+      List.sort (fun a b -> compare a.Tdat_bgp.Mrt.ts b.Tdat_bgp.Mrt.ts)
+        records
+    in
+    Tdat_bgp.Mrt.to_file out_path records;
+    Printf.printf "%d BGP messages from %d connection(s) -> %s\n"
+      (List.length records) (List.length connections) out_path;
+    0
+  end
+
+let pcap_arg =
+  Arg.(required & pos 0 (some file) None
+       & info [] ~docv:"TRACE.pcap" ~doc:"Input packet trace.")
+
+let out_arg =
+  Arg.(required & pos 1 (some string) None
+       & info [] ~docv:"OUT.mrt" ~doc:"Output MRT archive.")
+
+let peer_as_arg =
+  Arg.(value & opt int 64500
+       & info [ "peer-as" ] ~doc:"Peer AS recorded in the MRT headers.")
+
+let local_as_arg =
+  Arg.(value & opt int 65000
+       & info [ "local-as" ] ~doc:"Local AS recorded in the MRT headers.")
+
+let cmd =
+  let doc = "extract BGP messages from a TCP packet trace into MRT" in
+  Cmd.v
+    (Cmd.info "pcap2bgp" ~version:"1.0.0" ~doc)
+    Term.(const convert $ pcap_arg $ out_arg $ peer_as_arg $ local_as_arg)
+
+let () = exit (Cmd.eval' cmd)

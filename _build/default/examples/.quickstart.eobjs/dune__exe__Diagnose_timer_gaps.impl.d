@@ -1,0 +1,1 @@
+examples/diagnose_timer_gaps.ml: List Printf Tdat Tdat_bgpsim Tdat_stats Tdat_timerange

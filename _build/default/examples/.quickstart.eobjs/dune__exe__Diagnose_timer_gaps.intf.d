@@ -1,0 +1,1 @@
+examples/diagnose_timer_gaps.mli:

@@ -1,0 +1,1 @@
+examples/generic_app.ml: Printf String Tdat Tdat_netsim Tdat_pkt Tdat_rng Tdat_tcpsim

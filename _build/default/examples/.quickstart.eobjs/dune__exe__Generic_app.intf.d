@@ -1,0 +1,1 @@
+examples/generic_app.mli:

@@ -1,0 +1,1 @@
+examples/incast_collector.ml: List Printf Tdat Tdat_bgpsim Tdat_stats Tdat_tcpsim

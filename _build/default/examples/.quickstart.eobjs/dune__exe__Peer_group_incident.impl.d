@@ -1,0 +1,1 @@
+examples/peer_group_incident.ml: List Printf Tdat Tdat_bgpsim Tdat_timerange

@@ -1,0 +1,57 @@
+(* Concurrent table transfers overwhelm the collector (Fig. 15 / the
+   TCP-incast discussion of Section II-B2).
+
+   A collector restart makes N routers re-open sessions at once.  All
+   their transfers share one BGP process and one interface: with few
+   peers the TCP advertised window is the visible brake; as N grows the
+   shared BGP process becomes the bottleneck and T-DAT's receiver-app
+   factor takes over.
+
+     dune exec examples/incast_collector.exe *)
+
+module Scenario = Tdat_bgpsim.Scenario
+
+let run_storm n seed =
+  let routers =
+    List.init n (fun i ->
+        Scenario.router ~table_prefixes:6000
+          ~upstream:(Tdat_tcpsim.Connection.path ~delay:15_000 ())
+          ~start_at:(10_000 + (i * 3_000))
+          (i + 1))
+  in
+  let result =
+    Scenario.run ~seed ~collector_proc_time:250
+      ~collector_tcp:
+        { Tdat_tcpsim.Tcp_types.default with max_adv_window = 16_384 }
+      ~collector_local:
+        (Tdat_tcpsim.Connection.path ~delay:50 ~bandwidth_bps:200_000_000
+           ~buffer_pkts:40 ())
+      routers
+  in
+  let ratios =
+    List.map
+      (fun (o : Scenario.outcome) ->
+        let a =
+          Tdat.Analyzer.analyze o.Scenario.trace ~flow:o.Scenario.flow
+            ~mrt:o.Scenario.mrt
+        in
+        let r = a.Tdat.Analyzer.factors.Tdat.Factors.ratios in
+        ( List.assoc Tdat.Factors.Bgp_receiver_app r,
+          List.assoc Tdat.Factors.Tcp_adv_window r,
+          List.assoc Tdat.Factors.Recv_local_loss r ))
+      result.Scenario.outcomes
+  in
+  let mean f = Tdat_stats.Descriptive.mean (List.map f ratios) in
+  ( mean (fun (a, _, _) -> a),
+    mean (fun (_, b, _) -> b),
+    mean (fun (_, _, c) -> c),
+    result.Scenario.local_drops )
+
+let () =
+  Printf.printf "%12s %14s %14s %14s %12s\n" "concurrent" "BGP recv app"
+    "TCP adv win" "local loss" "iface drops";
+  List.iteri
+    (fun i n ->
+      let bgp, tcp, loss, drops = run_storm n (500 + i) in
+      Printf.printf "%12d %14.3f %14.3f %14.3f %12d\n" n bgp tcp loss drops)
+    [ 1; 2; 4; 8; 16; 24 ]

@@ -1,0 +1,1 @@
+lib/bgp/as_path.ml: Buffer Char Format List Printf Stdlib String

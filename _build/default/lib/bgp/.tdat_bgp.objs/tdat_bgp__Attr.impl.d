@@ -1,0 +1,1 @@
+lib/bgp/attr.ml: As_path Buffer Char Format Int Int32 List String Tdat_pkt

@@ -1,0 +1,1 @@
+lib/bgp/mct.ml: Hashtbl List Msg Msg_reader Prefix Tdat_timerange

@@ -1,0 +1,1 @@
+lib/bgp/mct.mli: Msg_reader Prefix Tdat_timerange

@@ -1,0 +1,1 @@
+lib/bgp/mrt.ml: Buffer Char Fun Int32 List Msg String Tdat_timerange

@@ -1,0 +1,1 @@
+lib/bgp/mrt.mli: Msg Tdat_timerange

@@ -1,0 +1,1 @@
+lib/bgp/msg.ml: Attr Buffer Char Format Int32 List Prefix Printf String

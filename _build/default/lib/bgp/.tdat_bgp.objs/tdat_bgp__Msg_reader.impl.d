@@ -1,0 +1,1 @@
+lib/bgp/msg_reader.ml: List Msg Stream_reassembly String Tdat_pkt Tdat_timerange

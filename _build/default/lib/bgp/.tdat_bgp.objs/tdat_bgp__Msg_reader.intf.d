@@ -1,0 +1,1 @@
+lib/bgp/msg_reader.mli: Msg Stream_reassembly Tdat_pkt Tdat_timerange

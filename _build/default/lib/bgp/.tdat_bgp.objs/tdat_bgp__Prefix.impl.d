@@ -1,0 +1,1 @@
+lib/bgp/prefix.ml: Buffer Char Format Int Int32 Printf String Tdat_pkt

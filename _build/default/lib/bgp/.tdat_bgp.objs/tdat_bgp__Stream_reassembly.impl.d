@@ -1,0 +1,1 @@
+lib/bgp/stream_reassembly.ml: Bytes List String Tdat_pkt Tdat_timerange

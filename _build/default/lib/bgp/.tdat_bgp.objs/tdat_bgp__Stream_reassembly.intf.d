@@ -1,0 +1,1 @@
+lib/bgp/stream_reassembly.mli: Tdat_pkt Tdat_timerange

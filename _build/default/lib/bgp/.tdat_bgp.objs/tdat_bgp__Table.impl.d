@@ -1,0 +1,1 @@
+lib/bgp/table.ml: Array As_path Attr Hashtbl List Prefix Tdat_pkt Tdat_rng

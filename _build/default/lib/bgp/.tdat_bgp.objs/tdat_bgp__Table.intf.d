@@ -1,0 +1,1 @@
+lib/bgp/table.mli: Attr Prefix Tdat_rng

@@ -1,0 +1,1 @@
+lib/bgp/update_gen.ml: Attr Buffer Hashtbl List Msg Prefix Table

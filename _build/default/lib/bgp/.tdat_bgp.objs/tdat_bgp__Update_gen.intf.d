@@ -1,0 +1,1 @@
+lib/bgp/update_gen.mli: Msg Table

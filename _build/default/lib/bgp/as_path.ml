@@ -1,0 +1,58 @@
+type segment = Seq of int list | Set of int list
+type t = segment list
+
+let of_asns asns = [ Seq asns ]
+
+let hop_count t =
+  let seg = function Seq l -> List.length l | Set _ -> 1 in
+  List.fold_left (fun acc s -> acc + seg s) 0 t
+
+let encode_segment buf seg =
+  let ty, asns = match seg with Set l -> (1, l) | Seq l -> (2, l) in
+  Buffer.add_uint8 buf ty;
+  Buffer.add_uint8 buf (List.length asns);
+  List.iter (fun asn -> Buffer.add_uint16_be buf asn) asns
+
+let encode buf t = List.iter (encode_segment buf) t
+
+let decode s =
+  let len = String.length s in
+  let read_u16 off = (Char.code s.[off] lsl 8) lor Char.code s.[off + 1] in
+  let rec segments off acc =
+    if off = len then List.rev acc
+    else if off + 2 > len then failwith "As_path.decode: truncated header"
+    else begin
+      let ty = Char.code s.[off] in
+      let n = Char.code s.[off + 1] in
+      if off + 2 + (2 * n) > len then failwith "As_path.decode: truncated";
+      let asns = List.init n (fun i -> read_u16 (off + 2 + (2 * i))) in
+      let seg =
+        match ty with
+        | 1 -> Set asns
+        | 2 -> Seq asns
+        | ty -> failwith (Printf.sprintf "As_path.decode: segment type %d" ty)
+      in
+      segments (off + 2 + (2 * n)) (seg :: acc)
+    end
+  in
+  segments 0 []
+
+let compare = Stdlib.compare
+let equal a b = compare a b = 0
+
+let pp_segment ppf = function
+  | Seq l ->
+      Format.pp_print_list
+        ~pp_sep:(fun ppf () -> Format.pp_print_string ppf " ")
+        Format.pp_print_int ppf l
+  | Set l ->
+      Format.fprintf ppf "{%a}"
+        (Format.pp_print_list
+           ~pp_sep:(fun ppf () -> Format.pp_print_string ppf ",")
+           Format.pp_print_int)
+        l
+
+let pp ppf t =
+  Format.pp_print_list
+    ~pp_sep:(fun ppf () -> Format.pp_print_string ppf " ")
+    pp_segment ppf t

@@ -1,0 +1,21 @@
+(** AS_PATH attribute values (RFC 4271 §4.3, 2-octet AS numbers). *)
+
+type segment =
+  | Seq of int list  (** AS_SEQUENCE: ordered. *)
+  | Set of int list  (** AS_SET: unordered aggregate. *)
+
+type t = segment list
+
+val of_asns : int list -> t
+(** A single AS_SEQUENCE. *)
+
+val hop_count : t -> int
+(** Path length as BGP counts it: an AS_SET contributes 1. *)
+
+val encode : Buffer.t -> t -> unit
+val decode : string -> t
+(** Decodes a whole attribute value. @raise Failure on malformed input. *)
+
+val compare : t -> t -> int
+val equal : t -> t -> bool
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,61 @@
+type config = {
+  dup_fraction : float;
+  min_seen : int;
+  quiet_gap : Tdat_timerange.Time_us.t;
+}
+
+let default_config =
+  { dup_fraction = 0.5; min_seen = 32; quiet_gap = 200_000_000 }
+
+type result = {
+  end_ts : Tdat_timerange.Time_us.t;
+  prefixes : int;
+  updates : int;
+}
+
+let transfer_end ?(config = default_config) ~start updates =
+  let seen : (Prefix.t, unit) Hashtbl.t = Hashtbl.create 1024 in
+  let relevant = List.filter (fun (ts, _) -> ts >= start) updates in
+  let finish last n_updates =
+    match last with
+    | None -> None
+    | Some ts ->
+        Some { end_ts = ts; prefixes = Hashtbl.length seen; updates = n_updates }
+  in
+  let rec scan last n_updates = function
+    | [] -> finish last n_updates
+    | (ts, prefixes) :: rest ->
+        let quiet =
+          match last with
+          | Some prev -> ts - prev > config.quiet_gap
+          | None -> false
+        in
+        if quiet then finish last n_updates
+        else begin
+          let total = List.length prefixes in
+          let dups =
+            List.length (List.filter (Hashtbl.mem seen) prefixes)
+          in
+          let churn =
+            total > 0
+            && Hashtbl.length seen >= config.min_seen
+            && float_of_int dups >= config.dup_fraction *. float_of_int total
+          in
+          if churn then finish last n_updates
+          else begin
+            List.iter
+              (fun p -> if not (Hashtbl.mem seen p) then Hashtbl.add seen p ())
+              prefixes;
+            scan (Some ts) (n_updates + 1) rest
+          end
+        end
+  in
+  scan None 0 relevant
+
+let of_timed_msgs msgs =
+  List.filter_map
+    (fun (m : Msg_reader.timed_msg) ->
+      match m.msg with
+      | Msg.Update u when u.Msg.nlri <> [] -> Some (m.ts, u.Msg.nlri)
+      | Msg.Update _ | Msg.Open _ | Msg.Keepalive | Msg.Notification _ -> None)
+    msgs

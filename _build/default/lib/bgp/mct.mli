@@ -1,0 +1,45 @@
+(** Minimum Collection Time: locating the end of a BGP table transfer in
+    an update stream (Zhang et al., MineNet 2005, as adapted in the
+    paper's Section II-A).
+
+    The paper uses the TCP connection start as the transfer start and
+    runs MCT only to estimate the end.  The key property of a table
+    transfer is that each prefix is announced (at most) once; once the
+    dump is over, subsequent updates are steady-state churn that
+    re-announces already-seen prefixes or follows a long silence. *)
+
+type config = {
+  dup_fraction : float;
+      (** An update whose announced prefixes are already-seen in at least
+          this fraction is treated as post-transfer churn (default 0.5). *)
+  min_seen : int;
+      (** Churn detection only arms after this many distinct prefixes
+          (default 32) so an early duplicate cannot truncate the
+          transfer. *)
+  quiet_gap : Tdat_timerange.Time_us.t;
+      (** Silence longer than this ends the transfer.  The default, 200 s,
+          deliberately exceeds the usual BGP hold time so that a transfer
+          paused by peer-group blocking (Fig. 9) still counts as one
+          transfer, as in the paper's Table V. *)
+}
+
+val default_config : config
+
+type result = {
+  end_ts : Tdat_timerange.Time_us.t;  (** Timestamp of the last update of the transfer. *)
+  prefixes : int;                     (** Distinct prefixes collected. *)
+  updates : int;                      (** Updates attributed to the transfer. *)
+}
+
+val transfer_end :
+  ?config:config ->
+  start:Tdat_timerange.Time_us.t ->
+  (Tdat_timerange.Time_us.t * Prefix.t list) list ->
+  result option
+(** [transfer_end ~start updates] scans timestamped announcement batches
+    (in time order; entries before [start] are skipped) and returns the
+    inferred transfer end, or [None] if no update follows [start]. *)
+
+val of_timed_msgs : Msg_reader.timed_msg list ->
+  (Tdat_timerange.Time_us.t * Prefix.t list) list
+(** Adapter from extracted messages: UPDATE announcements only. *)

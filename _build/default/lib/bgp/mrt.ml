@@ -1,0 +1,98 @@
+type record = {
+  ts : Tdat_timerange.Time_us.t;
+  peer_as : int;
+  local_as : int;
+  peer_ip : int32;
+  local_ip : int32;
+  msg : Msg.t;
+}
+
+let bgp4mp = 16
+let bgp4mp_et = 17
+let subtype_message = 1
+
+let encode_record buf r =
+  let msg_bytes = Msg.encode r.msg in
+  (* BGP4MP_MESSAGE body: peer AS, local AS, ifindex, AFI, peer IP,
+     local IP, then the raw BGP message. *)
+  let body_len = 2 + 2 + 2 + 2 + 4 + 4 + String.length msg_bytes in
+  Buffer.add_int32_be buf (Int32.of_int (r.ts / 1_000_000));
+  Buffer.add_uint16_be buf bgp4mp_et;
+  Buffer.add_uint16_be buf subtype_message;
+  (* ET records count the 4-byte microsecond field in the length. *)
+  Buffer.add_int32_be buf (Int32.of_int (body_len + 4));
+  Buffer.add_int32_be buf (Int32.of_int (r.ts mod 1_000_000));
+  Buffer.add_uint16_be buf r.peer_as;
+  Buffer.add_uint16_be buf r.local_as;
+  Buffer.add_uint16_be buf 0;
+  Buffer.add_uint16_be buf 1 (* AFI IPv4 *);
+  Buffer.add_int32_be buf r.peer_ip;
+  Buffer.add_int32_be buf r.local_ip;
+  Buffer.add_string buf msg_bytes
+
+let encode records =
+  let buf = Buffer.create 4096 in
+  List.iter (encode_record buf) records;
+  Buffer.contents buf
+
+let decode s =
+  let len = String.length s in
+  let u16 off = (Char.code s.[off] lsl 8) lor Char.code s.[off + 1] in
+  let u32 off =
+    (Char.code s.[off] lsl 24)
+    lor (Char.code s.[off + 1] lsl 16)
+    lor (Char.code s.[off + 2] lsl 8)
+    lor Char.code s.[off + 3]
+  in
+  let i32 off = Int32.of_int (u32 off) in
+  let rec go off acc =
+    if off = len then List.rev acc
+    else if off + 12 > len then failwith "Mrt.decode: truncated header"
+    else begin
+      let sec = u32 off in
+      let ty = u16 (off + 4) in
+      let subtype = u16 (off + 6) in
+      let rec_len = u32 (off + 8) in
+      let body = off + 12 in
+      if body + rec_len > len then failwith "Mrt.decode: truncated record";
+      let next = body + rec_len in
+      let acc =
+        if (ty = bgp4mp || ty = bgp4mp_et) && subtype = subtype_message then begin
+          let usec, p = if ty = bgp4mp_et then (u32 body, body + 4) else (0, body) in
+          if p + 16 > next then failwith "Mrt.decode: short BGP4MP body";
+          let peer_as = u16 p in
+          let local_as = u16 (p + 2) in
+          let peer_ip = i32 (p + 8) in
+          let local_ip = i32 (p + 12) in
+          let msg_off = p + 16 in
+          match Msg.decode s msg_off with
+          | Some (msg, fin) when fin <= next ->
+              {
+                ts = (sec * 1_000_000) + usec;
+                peer_as;
+                local_as;
+                peer_ip;
+                local_ip;
+                msg;
+              }
+              :: acc
+          | _ -> failwith "Mrt.decode: bad embedded BGP message"
+        end
+        else acc
+      in
+      go next acc
+    end
+  in
+  go 0 []
+
+let to_file path records =
+  let oc = open_out_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_out oc)
+    (fun () -> output_string oc (encode records))
+
+let of_file path =
+  let ic = open_in_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_in ic)
+    (fun () -> decode (really_input_string ic (in_channel_length ic)))

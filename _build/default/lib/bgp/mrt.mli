@@ -1,0 +1,24 @@
+(** MRT export format (RFC 6396) for BGP4MP message records — the format
+    Quagga collectors archive BGP updates in, and the output format of
+    [pcap2bgp].
+
+    Records are written as [BGP4MP_ET] (type 17, microsecond timestamps)
+    and read back from either BGP4MP (type 16, second resolution) or
+    BGP4MP_ET. *)
+
+type record = {
+  ts : Tdat_timerange.Time_us.t;
+  peer_as : int;
+  local_as : int;
+  peer_ip : int32;
+  local_ip : int32;
+  msg : Msg.t;
+}
+
+val encode : record list -> string
+val decode : string -> record list
+(** @raise Failure on malformed input; unsupported MRT record types are
+    skipped. *)
+
+val to_file : string -> record list -> unit
+val of_file : string -> record list

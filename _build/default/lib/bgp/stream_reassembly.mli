@@ -1,0 +1,34 @@
+(** TCP byte-stream reassembly from a one-directional packet trace — the
+    heart of the paper's [pcap2bgp] side tool.
+
+    Segments may arrive out of order, duplicated, retransmitted, or
+    overlapping; the reassembler reconstructs the contiguous byte stream
+    and records, for every byte, the instant it became deliverable to the
+    application (i.e., when the stream first turned contiguous up to and
+    including that byte).  Those delivery times are what give extracted
+    BGP messages their arrival timestamps. *)
+
+type t
+
+val create : unit -> t
+
+val feed : t -> Tdat_pkt.Tcp_segment.t -> unit
+(** Feed a data segment (non-data segments are ignored).  Stream offsets
+    come from [seq]; the stream starts at offset 0. *)
+
+val of_segments : Tdat_pkt.Tcp_segment.t list -> t
+
+val contiguous : t -> string
+(** The reconstructed stream from offset 0 up to the first gap. *)
+
+val contiguous_length : t -> int
+
+val delivery_time : t -> int -> Tdat_timerange.Time_us.t
+(** [delivery_time t off]: when the byte at [off] became deliverable.
+    @raise Invalid_argument if [off >= contiguous_length t]. *)
+
+val total_gaps : t -> int
+(** Number of distinct holes still open beyond the contiguous part. *)
+
+val duplicate_bytes : t -> int
+(** Bytes received more than once (retransmission overlap). *)

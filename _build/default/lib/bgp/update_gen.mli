@@ -1,0 +1,18 @@
+(** Packing a routing table into UPDATE messages.
+
+    Real routers batch prefixes sharing identical path attributes into a
+    single UPDATE up to the 4096-byte message limit; this is the encoding
+    a table transfer puts on the wire. *)
+
+val pack : Table.t -> Msg.t list
+(** Groups routes by {!Attr.signature}, preserving the first-appearance
+    order of attribute groups, and splits each group into UPDATEs that
+    respect {!Msg.max_size}. *)
+
+val packed_size : Table.t -> int
+(** Total encoded bytes of [pack t] — the scaled counterpart of the
+    paper's "5–8 MB for the full BGP table". *)
+
+val unpack : Msg.t list -> Table.t
+(** Inverse of {!pack} up to grouping: flattens UPDATEs back into
+    (prefix, attrs) routes, ignoring non-UPDATE messages and withdrawals. *)

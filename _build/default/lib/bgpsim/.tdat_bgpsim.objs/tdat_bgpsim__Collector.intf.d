@@ -1,0 +1,1 @@
+lib/bgpsim/collector.mli: Tdat_bgp Tdat_netsim Tdat_rng Tdat_tcpsim Tdat_timerange

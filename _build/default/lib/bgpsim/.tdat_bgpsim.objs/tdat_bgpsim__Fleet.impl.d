@@ -1,0 +1,1 @@
+lib/bgpsim/fleet.ml: Array Collector Float Fun Hashtbl List Option Scenario Tdat_netsim Tdat_pkt Tdat_rng Tdat_tcpsim Tdat_timerange

@@ -1,0 +1,1 @@
+lib/bgpsim/fleet.mli: Collector Scenario Tdat_timerange

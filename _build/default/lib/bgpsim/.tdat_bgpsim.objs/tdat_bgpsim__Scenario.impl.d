@@ -1,0 +1,1 @@
+lib/bgpsim/scenario.ml: Collector List Printf Speaker Tdat_bgp Tdat_netsim Tdat_pkt Tdat_rng Tdat_tcpsim Tdat_timerange

@@ -1,0 +1,1 @@
+lib/bgpsim/scenario.mli: Collector Tdat_bgp Tdat_pkt Tdat_tcpsim Tdat_timerange

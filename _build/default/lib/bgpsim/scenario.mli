@@ -1,0 +1,98 @@
+(** Assembling whole monitoring scenarios: one collector, one or more
+    operational routers, each performing an initial table transfer over
+    its own TCP session, all captured by the collector-side sniffer.
+
+    The output of a run is exactly what the paper's datasets contain
+    (Table I): a tcpdump-style packet trace per connection, plus — for
+    Quagga collectors — the MRT archive of received updates. *)
+
+type router = {
+  router_id : int;
+  as_number : int;
+  table_prefixes : int;  (** Size of the table this router transfers. *)
+  start_at : Tdat_timerange.Time_us.t;  (** TCP open time. *)
+  sender_tcp : Tdat_tcpsim.Tcp_types.config;
+  timer_interval : Tdat_timerange.Time_us.t option;
+      (** Pacing timer ([None] = greedy sender). *)
+  timer_jitter : Tdat_timerange.Time_us.t;
+  quota : int;  (** Messages per timer tick. *)
+  group_window : int;
+      (** Peer-group replication-queue depth, in messages. *)
+  upstream : Tdat_tcpsim.Connection.path;
+  keepalive_interval : Tdat_timerange.Time_us.t;
+  hold_time : Tdat_timerange.Time_us.t;
+}
+
+val router :
+  ?as_number:int ->
+  ?table_prefixes:int ->
+  ?start_at:Tdat_timerange.Time_us.t ->
+  ?sender_tcp:Tdat_tcpsim.Tcp_types.config ->
+  ?timer_interval:Tdat_timerange.Time_us.t ->
+  ?timer_jitter:Tdat_timerange.Time_us.t ->
+  ?quota:int ->
+  ?group_window:int ->
+  ?upstream:Tdat_tcpsim.Connection.path ->
+  ?keepalive_interval:Tdat_timerange.Time_us.t ->
+  ?hold_time:Tdat_timerange.Time_us.t ->
+  int ->
+  router
+(** [router id] with defaults: 1500-prefix table, start at 10 ms, default
+    TCP, greedy sender, default path. *)
+
+type outcome = {
+  spec : router;
+  flow : Tdat_pkt.Flow.t;
+  trace : Tdat_pkt.Trace.t;  (** This connection's packets only. *)
+  tcp_start : Tdat_timerange.Time_us.t;
+  mrt : Tdat_bgp.Mrt.record list;  (** This peer's archive (Quagga only). *)
+  sender_counters : Tdat_tcpsim.Sender.counters;
+  upstream_drops : int;
+  speaker_finished : bool;
+  speaker_failed : bool;
+  table : Tdat_bgp.Table.t;  (** Ground truth table. *)
+}
+
+type run_result = {
+  outcomes : outcome list;
+  site_trace : Tdat_pkt.Trace.t;  (** Everything the sniffer saw. *)
+  local_drops : int;
+  collector : Collector.t;
+}
+
+val run :
+  ?seed:int ->
+  ?collector_kind:Collector.kind ->
+  ?collector_tcp:Tdat_tcpsim.Tcp_types.config ->
+  ?collector_proc_time:Tdat_timerange.Time_us.t ->
+  ?collector_proc_jitter:float ->
+  ?collector_local:Tdat_tcpsim.Connection.path ->
+  ?collector_fail_at:Tdat_timerange.Time_us.t ->
+  ?deadline:Tdat_timerange.Time_us.t ->
+  router list ->
+  run_result
+(** Simulate the routers' transfers toward one collector.  [deadline]
+    (default 1 simulated hour) bounds the run. *)
+
+type peer_group_result = {
+  quagga_outcome : outcome;
+  vendor_outcome : outcome;
+  quagga_collector : Collector.t;
+  vendor_collector : Collector.t;
+  vendor_removed_at : Tdat_timerange.Time_us.t option;
+      (** When the vendor member was removed from the group, if it
+          failed (Fig. 9's [t2]). *)
+  quagga_removed_at : Tdat_timerange.Time_us.t option;
+}
+
+val run_peer_group :
+  ?seed:int ->
+  ?vendor_fail_at:Tdat_timerange.Time_us.t ->
+  ?quagga_fail_at:Tdat_timerange.Time_us.t ->
+  ?deadline:Tdat_timerange.Time_us.t ->
+  router ->
+  peer_group_result
+(** The Section II-B3 configuration: one router peers with both a Quagga
+    and a Vendor collector in a single peer group.  When
+    [vendor_fail_at] is set, the vendor collector dies mid-transfer and
+    blocks the group until the hold timer removes it (Fig. 9). *)

@@ -1,0 +1,1 @@
+lib/core/ack_shift.ml: Array Conn_profile List Option Span Tdat_pkt Tdat_timerange Time_us

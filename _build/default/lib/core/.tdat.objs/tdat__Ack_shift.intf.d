@@ -1,0 +1,1 @@
+lib/core/ack_shift.mli: Conn_profile Tdat_timerange

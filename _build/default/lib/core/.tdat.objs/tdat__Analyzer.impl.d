@@ -1,0 +1,1 @@
+lib/core/analyzer.ml: Ack_shift Conn_profile Detect_loss Detect_peer_group Detect_timer Detect_zero_ack Factors List Option Series_gen Tdat_pkt Transfer_id

@@ -1,0 +1,1 @@
+lib/core/conn_profile.ml: Array Format Hashtbl List Option Span Span_set Tdat_pkt Tdat_timerange Time_us

@@ -1,0 +1,1 @@
+lib/core/conn_profile.mli: Format Tdat_pkt Tdat_timerange

@@ -1,0 +1,1 @@
+lib/core/detect_loss.ml: List Series Series_defs Series_gen Span Tdat_timerange Time_us

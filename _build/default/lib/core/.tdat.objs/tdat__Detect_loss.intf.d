@@ -1,0 +1,1 @@
+lib/core/detect_loss.mli: Series_gen Tdat_timerange

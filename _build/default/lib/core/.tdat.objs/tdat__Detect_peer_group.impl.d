@@ -1,0 +1,1 @@
+lib/core/detect_peer_group.ml: Conn_profile List Series Series_defs Series_gen Span Span_set Tdat_timerange

@@ -1,0 +1,1 @@
+lib/core/detect_peer_group.mli: Series_gen Tdat_timerange

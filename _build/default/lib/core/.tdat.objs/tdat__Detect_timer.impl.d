@@ -1,0 +1,1 @@
+lib/core/detect_timer.ml: Float List Series_defs Series_gen Tdat_stats Tdat_timerange

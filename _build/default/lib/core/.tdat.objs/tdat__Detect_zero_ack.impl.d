@@ -1,0 +1,1 @@
+lib/core/detect_zero_ack.ml: Series_defs Series_gen Span_set Tdat_timerange Time_us

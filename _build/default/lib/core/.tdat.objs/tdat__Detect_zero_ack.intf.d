@@ -1,0 +1,1 @@
+lib/core/detect_zero_ack.mli: Series_gen Tdat_timerange

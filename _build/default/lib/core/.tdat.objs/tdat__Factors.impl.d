@@ -1,0 +1,1 @@
+lib/core/factors.ml: Format List Option Series_defs Series_gen Span Span_set Tdat_timerange

@@ -1,0 +1,1 @@
+lib/core/factors.mli: Format Series_defs Series_gen Tdat_timerange

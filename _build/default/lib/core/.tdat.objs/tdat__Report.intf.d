@@ -1,0 +1,1 @@
+lib/core/report.mli: Analyzer Format Series_defs Series_gen

@@ -1,0 +1,1 @@
+lib/core/series_defs.mli: Format

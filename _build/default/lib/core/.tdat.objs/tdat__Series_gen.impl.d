@@ -1,0 +1,1 @@
+lib/core/series_gen.ml: Array Conn_profile Hashtbl List Option Series Series_defs Span Span_set Tdat_pkt Tdat_timerange Time_us

@@ -1,0 +1,1 @@
+lib/core/series_gen.mli: Conn_profile Series_defs Tdat_timerange

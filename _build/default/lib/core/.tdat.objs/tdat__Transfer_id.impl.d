@@ -1,0 +1,1 @@
+lib/core/transfer_id.ml: List Tdat_bgp Tdat_pkt Tdat_timerange

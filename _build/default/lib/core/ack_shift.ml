@@ -1,0 +1,113 @@
+open Tdat_timerange
+module Seg = Tdat_pkt.Tcp_segment
+
+type flight_shift = {
+  span : Span.t;
+  n_acks : int;
+  estimates : int;
+  applied : Time_us.t;
+}
+
+(* Group indices [0..n) into flights by inter-arrival gap. *)
+let group_flights acks gap =
+  let n = Array.length acks in
+  let flights = ref [] and current = ref [] in
+  let flush () =
+    if !current <> [] then flights := List.rev !current :: !flights;
+    current := []
+  in
+  for i = 0 to n - 1 do
+    (match !current with
+    | last :: _
+      when acks.(i).Seg.ts - acks.(last).Seg.ts > gap ->
+        flush ()
+    | _ -> ());
+    current := i :: !current
+  done;
+  flush ();
+  List.rev !flights
+
+(* d2 estimate for one ACK: the delay until the first data packet that
+   this ACK's window-edge advance released.  [allowed_before] is the
+   right window edge (ack + win) in force before this ACK. *)
+let estimate_d2 (profile : Conn_profile.t) ~allowed_before
+    ~(ack : Seg.t) ~max_wait =
+  let edge = ack.Seg.ack + ack.Seg.window in
+  if edge <= allowed_before then None
+  else begin
+    let data = profile.Conn_profile.data in
+    let n = Array.length data in
+    (* Binary search for the first data packet after the ACK, then scan
+       forward within the bounded wait window. *)
+    let lo = ref 0 and hi = ref n in
+    while !lo < !hi do
+      let mid = (!lo + !hi) / 2 in
+      if data.(mid).Conn_profile.seg.Seg.ts <= ack.Seg.ts then lo := mid + 1
+      else hi := mid
+    done;
+    let rec search i =
+      if i >= n then None
+      else begin
+        let s = data.(i).Conn_profile.seg in
+        if s.Seg.ts - ack.Seg.ts > max_wait then None
+        else begin
+          let seq_end = Seg.seq_end s in
+          if seq_end > allowed_before && seq_end <= edge then
+            Some (s.Seg.ts - ack.Seg.ts)
+          else search (i + 1)
+        end
+      end
+    in
+    search !lo
+  end
+
+let shift ?flight_gap (profile : Conn_profile.t) =
+  let rtt = profile.Conn_profile.rtt in
+  let gap =
+    match flight_gap with Some g -> g | None -> max 1_000 (rtt / 4)
+  in
+  let acks = profile.Conn_profile.acks in
+  let baseline =
+    Option.value ~default:0 profile.Conn_profile.upstream_rtt
+  in
+  let flights = group_flights acks gap in
+  let max_wait = 2 * max rtt 1_000 in
+  (* Track the pre-ACK window edge as we walk the ACK stream. *)
+  let allowed = ref 0 in
+  let shifted = Array.copy acks in
+  let infos = ref [] in
+  let process flight =
+    let members = List.map (fun i -> acks.(i)) flight in
+    let first = List.hd members in
+    let last = List.nth members (List.length members - 1) in
+    let d2s = ref [] in
+    List.iter
+      (fun (ack : Seg.t) ->
+        (match
+           estimate_d2 profile ~allowed_before:!allowed ~ack ~max_wait
+         with
+        | Some d2 when d2 >= 0 -> d2s := d2 :: !d2s
+        | _ -> ());
+        allowed := max !allowed (ack.Seg.ack + ack.Seg.window))
+      members;
+    let applied =
+      match !d2s with
+      | [] -> baseline
+      | ds -> List.fold_left min max_int ds
+    in
+    List.iter
+      (fun i -> shifted.(i) <- { acks.(i) with Seg.ts = acks.(i).Seg.ts + applied })
+      flight;
+    infos :=
+      {
+        span = Span.v first.Seg.ts (last.Seg.ts + 1);
+        n_acks = List.length members;
+        estimates = List.length !d2s;
+        applied;
+      }
+      :: !infos
+  in
+  List.iter process flights;
+  Array.sort Seg.compare_ts shifted;
+  ( { profile with Conn_profile.acks = shifted },
+    List.rev !infos )

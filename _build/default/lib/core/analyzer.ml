@@ -1,0 +1,47 @@
+type problems = {
+  timer : Detect_timer.result option;
+  consecutive_losses : Detect_loss.result;
+  peer_group_suspects : Detect_peer_group.suspect list;
+  zero_ack_bug : Detect_zero_ack.result option;
+}
+
+type t = {
+  profile : Conn_profile.t;
+  shifted : Conn_profile.t;
+  shifts : Ack_shift.flight_shift list;
+  transfer : Transfer_id.t option;
+  series : Series_gen.t;
+  factors : Factors.result;
+  problems : problems;
+}
+
+let analyze ?config ?major_threshold ?mct ?mrt ?(skip_shift = false) trace
+    ~flow =
+  let profile = Conn_profile.of_trace trace ~flow in
+  let shifted, shifts =
+    if skip_shift then (profile, []) else Ack_shift.shift profile
+  in
+  let transfer = Transfer_id.identify ?mct ?mrt trace ~flow in
+  let window = Option.map Transfer_id.span transfer in
+  let series = Series_gen.generate ?config ?window shifted in
+  let factors = Factors.compute ?major_threshold series in
+  let problems =
+    {
+      timer = Detect_timer.detect series;
+      consecutive_losses = Detect_loss.detect series;
+      peer_group_suspects = Detect_peer_group.suspects series;
+      zero_ack_bug = Detect_zero_ack.detect series;
+    }
+  in
+  { profile; shifted; shifts; transfer; series; factors; problems }
+
+let analyze_all ?config ?major_threshold ?mct ?mrt trace =
+  Tdat_pkt.Trace.connections trace
+  |> List.map (fun key ->
+         let flow = Tdat_pkt.Trace.infer_sender trace key in
+         let sub =
+           Tdat_pkt.Trace.split_connection trace
+             ~sender:flow.Tdat_pkt.Flow.sender
+             ~receiver:flow.Tdat_pkt.Flow.receiver
+         in
+         (flow, analyze ?config ?major_threshold ?mct ?mrt sub ~flow))

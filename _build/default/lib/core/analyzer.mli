@@ -1,0 +1,47 @@
+(** The full T-DAT pipeline (Fig. 10): pre-process → ACK-shift → series
+    generation → delay factors → problem detectors.
+
+    This is the main entry point of the library: give it a bidirectional
+    packet trace of one BGP session and it explains where the table
+    transfer's time went. *)
+
+type problems = {
+  timer : Detect_timer.result option;
+  consecutive_losses : Detect_loss.result;
+  peer_group_suspects : Detect_peer_group.suspect list;
+  zero_ack_bug : Detect_zero_ack.result option;
+}
+
+type t = {
+  profile : Conn_profile.t;    (** Pre-shift profile. *)
+  shifted : Conn_profile.t;    (** After sniffer-location accommodation. *)
+  shifts : Ack_shift.flight_shift list;
+  transfer : Transfer_id.t option;
+  series : Series_gen.t;       (** Generated over the transfer window. *)
+  factors : Factors.result;
+  problems : problems;
+}
+
+val analyze :
+  ?config:Series_gen.config ->
+  ?major_threshold:float ->
+  ?mct:Tdat_bgp.Mct.config ->
+  ?mrt:Tdat_bgp.Mrt.record list ->
+  ?skip_shift:bool ->
+  Tdat_pkt.Trace.t ->
+  flow:Tdat_pkt.Flow.t ->
+  t
+(** [analyze trace ~flow] runs the pipeline.  The analysis window is the
+    identified table transfer when one is found, else the whole
+    connection.  [skip_shift] (default false) bypasses ACK shifting — the
+    right setting for sender-side traces, and a no-op there anyway. *)
+
+val analyze_all :
+  ?config:Series_gen.config ->
+  ?major_threshold:float ->
+  ?mct:Tdat_bgp.Mct.config ->
+  ?mrt:Tdat_bgp.Mrt.record list ->
+  Tdat_pkt.Trace.t ->
+  (Tdat_pkt.Flow.t * t) list
+(** Extract every connection in the trace ({!Tdat_pkt.Trace.connections}),
+    orient each by byte volume, and analyze it. *)

@@ -1,0 +1,227 @@
+open Tdat_timerange
+module Seg = Tdat_pkt.Tcp_segment
+module Flow = Tdat_pkt.Flow
+
+type label =
+  | In_order
+  | Above_hole
+  | Fill_reorder
+  | Fill_retransmission
+  | Redelivery
+
+type data_packet = { seg : Seg.t; label : label }
+
+type loss_episode = { span : Span.t; packets : int; bytes : int }
+
+type t = {
+  flow : Flow.t;
+  start_time : Time_us.t;
+  end_time : Time_us.t;
+  syn_rtt : Time_us.t option;
+  upstream_rtt : Time_us.t option;
+  rtt : Time_us.t;
+  mss : int;
+  max_adv_window : int;
+  data : data_packet array;
+  acks : Seg.t array;
+  upstream_episodes : loss_episode list;
+  downstream_episodes : loss_episode list;
+  voids : Span_set.t;
+}
+
+(* A raw recovery event before merging into episodes. *)
+type recovery = { r_span : Span.t; r_bytes : int }
+
+let merge_episodes recoveries =
+  let spans = List.map (fun r -> (r.r_span, r)) recoveries in
+  let sorted =
+    List.sort (fun (a, _) (b, _) -> Span.compare a b) spans
+  in
+  let rec go acc current = function
+    | [] -> List.rev (match current with None -> acc | Some e -> e :: acc)
+    | (span, r) :: rest -> (
+        match current with
+        | None ->
+            go acc (Some { span; packets = 1; bytes = r.r_bytes }) rest
+        | Some e when Span.touches e.span span ->
+            go acc
+              (Some
+                 {
+                   span = Span.hull e.span span;
+                   packets = e.packets + 1;
+                   bytes = e.bytes + r.r_bytes;
+                 })
+              rest
+        | Some e ->
+            go (e :: acc) (Some { span; packets = 1; bytes = r.r_bytes }) rest)
+  in
+  go [] None sorted
+
+(* Holes: open sequence gaps [lo, hi) with creation time. *)
+type hole = { h_lo : int; h_hi : int; created : Time_us.t }
+
+let of_trace ?(reorder_factor = 0.25) trace ~flow =
+  let segments = Tdat_pkt.Trace.segments trace in
+  let to_receiver, to_sender =
+    List.partition
+      (fun seg -> Flow.direction_of flow seg = Some Flow.To_receiver)
+      segments
+  in
+  let to_sender =
+    List.filter (fun seg -> Flow.direction_of flow seg = Some Flow.To_sender)
+      to_sender
+  in
+  let data_segs = List.filter Seg.is_data to_receiver in
+  let acks = Array.of_list (List.filter (fun (s : Seg.t) -> s.flags.Seg.ack) to_sender) in
+  (* Handshake-based RTT: SYN seen at the sniffer to the sender's first
+     post-SYN+ACK packet covers the full round trip regardless of the
+     sniffer position. *)
+  let syn = List.find_opt (fun (s : Seg.t) -> s.flags.Seg.syn) to_receiver in
+  let synack =
+    List.find_opt
+      (fun (s : Seg.t) -> s.flags.Seg.syn && s.flags.Seg.ack)
+      to_sender
+  in
+  let first_after ts segs =
+    List.find_opt (fun (s : Seg.t) -> s.ts > ts) segs
+  in
+  let syn_rtt, upstream_rtt =
+    match (syn, synack) with
+    | Some syn, Some sa -> (
+        match first_after sa.Seg.ts to_receiver with
+        | Some reply ->
+            ( Some (reply.Seg.ts - syn.Seg.ts),
+              Some (reply.Seg.ts - sa.Seg.ts) )
+        | None -> (None, None))
+    | _ -> (None, None)
+  in
+  let start_time =
+    match (syn, segments) with
+    | Some s, _ -> s.Seg.ts
+    | None, first :: _ -> first.Seg.ts
+    | None, [] -> 0
+  in
+  let end_time =
+    match List.rev segments with last :: _ -> last.Seg.ts | [] -> start_time
+  in
+  let mss =
+    match syn with
+    | Some { Seg.mss_opt = Some m; _ } -> m
+    | _ ->
+        List.fold_left (fun acc (s : Seg.t) -> max acc s.len) 536 data_segs
+  in
+  let max_adv_window =
+    Array.fold_left (fun acc (s : Seg.t) -> max acc s.window) 0 acks
+  in
+  let rtt = max 1_000 (Option.value ~default:1_000 syn_rtt) in
+  let reorder_threshold =
+    max 1_000 (int_of_float (reorder_factor *. float_of_int rtt))
+  in
+  (* --- labeling pass ------------------------------------------------ *)
+  let expected = ref 0 in
+  let holes = ref ([] : hole list) in
+  let first_seen : (int, Time_us.t) Hashtbl.t = Hashtbl.create 1024 in
+  let upstream = ref [] and downstream = ref [] in
+  let label_packet (s : Seg.t) =
+    let lo = s.seq and hi = Seg.seq_end s in
+    let label =
+      if lo >= !expected then begin
+        (* In order (possibly above an open hole). *)
+        if lo > !expected then
+          holes := !holes @ [ { h_lo = !expected; h_hi = lo; created = s.ts } ];
+        expected := hi;
+        if !holes = [] then In_order else Above_hole
+      end
+      else begin
+        (* Below the frontier: hole fill or redelivery. *)
+        let overlapping, rest =
+          List.partition (fun h -> lo < h.h_hi && hi > h.h_lo) !holes
+        in
+        match overlapping with
+        | [] ->
+            (* All bytes seen before: downstream-loss recovery. *)
+            let orig =
+              match Hashtbl.find_opt first_seen lo with
+              | Some ts -> ts
+              | None -> max start_time (s.ts - rtt)
+            in
+            let span =
+              if s.ts > orig then Span.v orig (s.ts + 1) else Span.point s.ts
+            in
+            downstream := { r_span = span; r_bytes = s.len } :: !downstream;
+            (if hi > !expected then expected := hi);
+            Redelivery
+        | _ ->
+            (* Fills at least one hole. *)
+            let created =
+              List.fold_left (fun acc h -> min acc h.created) max_int
+                overlapping
+            in
+            let remaining =
+              List.concat_map
+                (fun h ->
+                  let left =
+                    if h.h_lo < lo then
+                      [ { h with h_hi = min h.h_hi lo } ]
+                    else []
+                  in
+                  let right =
+                    if h.h_hi > hi then
+                      [ { h with h_lo = max h.h_lo hi } ]
+                    else []
+                  in
+                  left @ right)
+                overlapping
+            in
+            holes := rest @ remaining;
+            if hi > !expected then expected := hi;
+            if s.ts - created <= reorder_threshold then Fill_reorder
+            else begin
+              let span =
+                if s.ts > created then Span.v created (s.ts + 1)
+                else Span.point s.ts
+              in
+              upstream := { r_span = span; r_bytes = s.len } :: !upstream;
+              Fill_retransmission
+            end
+      end
+    in
+    if not (Hashtbl.mem first_seen lo) then Hashtbl.add first_seen lo s.ts;
+    { seg = s; label }
+  in
+  let data = Array.of_list (List.map label_packet data_segs) in
+  {
+    flow;
+    start_time;
+    end_time;
+    syn_rtt;
+    upstream_rtt;
+    rtt;
+    mss;
+    max_adv_window;
+    data;
+    acks;
+    upstream_episodes = merge_episodes !upstream;
+    downstream_episodes = merge_episodes !downstream;
+    voids = Tdat_pkt.Trace.voids trace;
+  }
+
+let retransmissions t =
+  Array.fold_left
+    (fun acc p ->
+      match p.label with
+      | Fill_retransmission | Redelivery -> acc + 1
+      | In_order | Above_hole | Fill_reorder -> acc)
+    0 t.data
+
+let duration t = t.end_time - t.start_time
+let analysis_window t = Span.v t.start_time (t.end_time + 1)
+
+let pp_summary ppf t =
+  Format.fprintf ppf
+    "%a: %d data pkts, %d acks, rtt=%a mss=%d maxwin=%d retx=%d (up %d ep, \
+     down %d ep)"
+    Flow.pp t.flow (Array.length t.data) (Array.length t.acks) Time_us.pp
+    t.rtt t.mss t.max_adv_window (retransmissions t)
+    (List.length t.upstream_episodes)
+    (List.length t.downstream_episodes)

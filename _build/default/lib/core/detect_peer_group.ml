@@ -1,0 +1,36 @@
+open Tdat_timerange
+module D = Series_defs
+
+type suspect = { span : Span.t; keepalives : int }
+
+let suspects ?(min_blocked = 60_000_000) gen =
+  let keepalive_only = Series_gen.events gen D.Keepalive_only in
+  Series.fold
+    (fun span keepalives acc ->
+      if Span.length span >= min_blocked then { span; keepalives } :: acc
+      else acc)
+    keepalive_only []
+  |> List.rev
+
+let confirm gen ~other =
+  (* Use the other member's whole-connection loss episodes, not its
+     clipped analysis window: a dead member's transfer window collapses
+     to the pre-failure seconds, while its retransmissions stretch over
+     the entire blocked period. *)
+  let p = Series_gen.profile other in
+  let episode_spans eps =
+    List.map (fun (e : Conn_profile.loss_episode) -> e.Conn_profile.span) eps
+  in
+  let other_loss =
+    Span_set.of_spans
+      (episode_spans p.Conn_profile.upstream_episodes
+      @ episode_spans p.Conn_profile.downstream_episodes)
+  in
+  suspects gen
+  |> List.filter (fun s ->
+         not
+           (Span_set.is_empty
+              (Span_set.inter (Span_set.of_span s.span) other_loss)))
+
+let blocked_delay suspects =
+  List.fold_left (fun acc s -> acc + Span.length s.span) 0 suspects

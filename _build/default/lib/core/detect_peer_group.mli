@@ -1,0 +1,27 @@
+(** Pathological peer-group blocking detection (Sections II-B3 and IV-B).
+
+    A blocked member shows a long send-application-limited gap during
+    which only keepalive-sized messages flow.  When the trace of the
+    {e other} member of the group is also available, the suspicion is
+    confirmed by intersecting this member's idle period with the other
+    member's loss/retransmission period:
+
+    {v Quagga.SendAppLimited ∩ Vendor.Loss v} *)
+
+type suspect = {
+  span : Tdat_timerange.Span.t;  (** The blocked period. *)
+  keepalives : int;  (** Keepalive messages seen inside it. *)
+}
+
+val suspects :
+  ?min_blocked:Tdat_timerange.Time_us.t -> Series_gen.t -> suspect list
+(** Idle periods of at least [min_blocked] (default 60 s) in which only
+    keepalives were exchanged. *)
+
+val confirm :
+  Series_gen.t -> other:Series_gen.t -> suspect list
+(** Suspects of the first connection whose span overlaps the other
+    connection's retransmission periods — the group really was dragged
+    down by the other member. *)
+
+val blocked_delay : suspect list -> Tdat_timerange.Time_us.t

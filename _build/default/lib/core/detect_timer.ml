@@ -1,0 +1,48 @@
+type result = {
+  timer : Tdat_timerange.Time_us.t;
+  gaps : int;
+  induced_delay : Tdat_timerange.Time_us.t;
+}
+
+let raw_gaps gen =
+  Tdat_timerange.Series.durations (Series_gen.events gen Series_defs.Send_app_limited)
+
+let gap_distribution gen =
+  raw_gaps gen
+  |> List.map (fun d -> Tdat_timerange.Time_us.to_s d)
+  |> List.sort Float.compare
+
+let detect ?(min_gap = 20_000) ?(max_gap = 2_000_000) ?(min_count = 10)
+    ?(cluster_fraction = 0.5) gen =
+  let gaps =
+    raw_gaps gen |> List.filter (fun d -> d >= min_gap && d <= max_gap)
+  in
+  if List.length gaps < min_count then None
+  else begin
+    let as_floats = List.map float_of_int gaps in
+    match Tdat_stats.Knee.knee_of_sorted as_floats with
+    | None -> None
+    | Some knee ->
+        (* Validate: a real timer clusters gaps tightly around the knee;
+           a wandering inter-burst rhythm spreads too wide to pass. *)
+        let lo = 0.85 *. knee and hi = 1.15 *. knee in
+        let clustered =
+          List.filter (fun g -> g >= lo && g <= hi) as_floats
+        in
+        let n_clustered = List.length clustered in
+        if
+          float_of_int n_clustered
+          < cluster_fraction *. float_of_int (List.length gaps)
+        then None
+        else begin
+          (* Report the cluster's median as the timer value: robust to
+             the knee landing on the cluster's edge. *)
+          let timer =
+            int_of_float (Tdat_stats.Descriptive.median clustered)
+          in
+          let induced =
+            List.fold_left ( + ) 0 (List.map int_of_float clustered)
+          in
+          Some { timer; gaps = n_clustered; induced_delay = induced }
+        end
+  end

@@ -1,0 +1,8 @@
+open Tdat_timerange
+
+type result = { spans : Span_set.t; total : Time_us.t }
+
+let detect ?(min_total = 100_000) gen =
+  let conflict = Series_gen.spans gen Series_defs.Zero_ack_bug in
+  let total = Span_set.size conflict in
+  if total >= min_total then Some { spans = conflict; total } else None

@@ -1,0 +1,19 @@
+(** The zero-window ACK bug (Section IV-B): connections that exhibit a
+    closed receiver window and persistent upstream packet losses at the
+    same time — "packets get constantly dropped even under low
+    transmission rate", the signature of the probe-discard implementation
+    bug the paper found had lived in operational routers for years.
+
+    {v ZeroAckBug := (ZeroAdvWindow ∪ ZeroAdvBndOut) ∩ RetransPeriod v}
+
+    (the paper's [ZeroAdvBndOut ∩ UpstreamLoss], widened because loss
+    periods override window attribution here — see DESIGN.md). *)
+
+type result = {
+  spans : Tdat_timerange.Span_set.t;  (** The conflicting periods. *)
+  total : Tdat_timerange.Time_us.t;
+}
+
+val detect : ?min_total:Tdat_timerange.Time_us.t -> Series_gen.t -> result option
+(** [None] unless the conflict series covers at least [min_total]
+    (default 100 ms). *)

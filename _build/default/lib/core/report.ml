@@ -1,0 +1,74 @@
+open Tdat_timerange
+module D = Series_defs
+
+let fig11_series =
+  [
+    D.Transmission;
+    D.Outstanding;
+    D.Send_app_limited;
+    D.Adv_bnd_out;
+    D.Cwnd_bnd_out;
+    D.Upstream_loss;
+    D.Downstream_loss;
+    D.Zero_adv_window;
+  ]
+
+let series_timeline ?(width = 72) ?(names = fig11_series) gen =
+  let win = Series_gen.window gen in
+  let to_intervals name =
+    Series_gen.spans gen name |> Span_set.clip win |> Span_set.to_list
+    |> List.map (fun sp ->
+           (Time_us.to_s (Span.start sp), Time_us.to_s (Span.stop sp)))
+  in
+  let rows =
+    List.map (fun n -> (D.to_string n, to_intervals n)) names
+  in
+  Tdat_stats.Ascii_plot.timeline ~width
+    ~window:(Time_us.to_s (Span.start win), Time_us.to_s (Span.stop win))
+    rows
+
+let pp_analysis ppf (a : Analyzer.t) =
+  let open Format in
+  fprintf ppf "@[<v>== connection %a ==@," Tdat_pkt.Flow.pp
+    a.Analyzer.profile.Conn_profile.flow;
+  fprintf ppf "%a@," Conn_profile.pp_summary a.Analyzer.profile;
+  (match a.Analyzer.transfer with
+  | Some tr ->
+      fprintf ppf
+        "table transfer: start=%a duration=%a prefixes=%d updates=%d (%s)@,"
+        Time_us.pp tr.Transfer_id.start_ts Time_us.pp
+        (Transfer_id.duration tr) tr.Transfer_id.prefixes
+        tr.Transfer_id.updates
+        (match tr.Transfer_id.source with
+        | Transfer_id.Archive -> "MRT archive"
+        | Transfer_id.Reconstructed -> "reconstructed from trace")
+  | None -> fprintf ppf "table transfer: not identified@,");
+  fprintf ppf "-- delay factors --@,%a@," Factors.pp a.Analyzer.factors;
+  let p = a.Analyzer.problems in
+  fprintf ppf "-- problems --@,";
+  (match p.Analyzer.timer with
+  | Some t ->
+      fprintf ppf "timer gaps: %a timer, %d gaps, %a induced@," Time_us.pp
+        t.Detect_timer.timer t.Detect_timer.gaps Time_us.pp
+        t.Detect_timer.induced_delay
+  | None -> fprintf ppf "timer gaps: none detected@,");
+  let cl = p.Analyzer.consecutive_losses in
+  if cl.Detect_loss.episodes <> [] then
+    fprintf ppf "consecutive losses: %d episodes, %a in loss recovery@,"
+      (List.length cl.Detect_loss.episodes)
+      Time_us.pp cl.Detect_loss.induced_delay
+  else fprintf ppf "consecutive losses: none@,";
+  (match p.Analyzer.peer_group_suspects with
+  | [] -> fprintf ppf "peer-group blocking: no suspect idle periods@,"
+  | suspects ->
+      fprintf ppf "peer-group blocking: %d suspect period(s), %a blocked@,"
+        (List.length suspects) Time_us.pp
+        (Detect_peer_group.blocked_delay suspects));
+  (match p.Analyzer.zero_ack_bug with
+  | Some z ->
+      fprintf ppf "zero-window ack bug: %a of conflicting behaviour@,"
+        Time_us.pp z.Detect_zero_ack.total
+  | None -> fprintf ppf "zero-window ack bug: none@,");
+  fprintf ppf "@]"
+
+let to_string a = Format.asprintf "%a" pp_analysis a

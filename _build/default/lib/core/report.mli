@@ -1,0 +1,17 @@
+(** Human-readable rendering of analysis results: the per-connection
+    report the T-DAT command-line tool prints, and the square-wave series
+    view of Fig. 11 (the BGPlot role). *)
+
+val pp_analysis : Format.formatter -> Analyzer.t -> unit
+(** Connection profile, transfer bounds, the 8-factor / 3-group ratio
+    vectors, and any detected problems. *)
+
+val to_string : Analyzer.t -> string
+
+val series_timeline :
+  ?width:int ->
+  ?names:Series_defs.t list ->
+  Series_gen.t ->
+  string
+(** ASCII square waves of the chosen series (default: the Fig. 11 set)
+    over the analysis window. *)

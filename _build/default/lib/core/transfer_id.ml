@@ -1,0 +1,63 @@
+module Seg = Tdat_pkt.Tcp_segment
+module Mct = Tdat_bgp.Mct
+
+type source = Archive | Reconstructed
+
+type t = {
+  start_ts : Tdat_timerange.Time_us.t;
+  end_ts : Tdat_timerange.Time_us.t;
+  prefixes : int;
+  updates : int;
+  source : source;
+}
+
+let duration t = max 0 (t.end_ts - t.start_ts)
+
+let span t =
+  Tdat_timerange.Span.v t.start_ts (max (t.start_ts + 1) (t.end_ts + 1))
+
+let connection_start trace ~flow =
+  let segs = Tdat_pkt.Trace.segments trace in
+  let syn =
+    List.find_opt
+      (fun (s : Seg.t) ->
+        s.flags.Seg.syn
+        && Tdat_pkt.Flow.direction_of flow s = Some Tdat_pkt.Flow.To_receiver)
+      segs
+  in
+  match (syn, segs) with
+  | Some s, _ -> Some s.Seg.ts
+  | None, first :: _ -> Some first.Seg.ts
+  | None, [] -> None
+
+let identify ?mct ?mrt trace ~flow =
+  match connection_start trace ~flow with
+  | None -> None
+  | Some start_ts -> (
+      let updates, source =
+        match mrt with
+        | Some (_ :: _ as records) ->
+            ( List.filter_map
+                (fun (r : Tdat_bgp.Mrt.record) ->
+                  match r.Tdat_bgp.Mrt.msg with
+                  | Tdat_bgp.Msg.Update u when u.Tdat_bgp.Msg.nlri <> [] ->
+                      Some (r.Tdat_bgp.Mrt.ts, u.Tdat_bgp.Msg.nlri)
+                  | _ -> None)
+                records,
+              Archive )
+        | Some [] | None ->
+            ( Tdat_bgp.Mct.of_timed_msgs
+                (Tdat_bgp.Msg_reader.extract_from_trace trace ~flow),
+              Reconstructed )
+      in
+      match Mct.transfer_end ?config:mct ~start:start_ts updates with
+      | None -> None
+      | Some r ->
+          Some
+            {
+              start_ts;
+              end_ts = r.Mct.end_ts;
+              prefixes = r.Mct.prefixes;
+              updates = r.Mct.updates;
+              source;
+            })

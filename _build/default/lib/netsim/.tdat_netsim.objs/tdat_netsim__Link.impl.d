@@ -1,0 +1,1 @@
+lib/netsim/link.ml: Engine Loss Tdat_pkt Tdat_rng Tdat_timerange

@@ -1,0 +1,1 @@
+lib/netsim/loss.ml: Tdat_rng Tdat_timerange

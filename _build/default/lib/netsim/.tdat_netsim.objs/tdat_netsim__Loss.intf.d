@@ -1,0 +1,1 @@
+lib/netsim/loss.mli: Tdat_rng Tdat_timerange

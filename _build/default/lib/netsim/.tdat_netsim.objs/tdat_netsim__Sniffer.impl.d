@@ -1,0 +1,1 @@
+lib/netsim/sniffer.ml: Engine List Tdat_pkt Tdat_timerange

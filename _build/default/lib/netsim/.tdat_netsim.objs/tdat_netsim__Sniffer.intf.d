@@ -1,0 +1,1 @@
+lib/netsim/sniffer.mli: Engine Tdat_pkt Tdat_timerange

@@ -1,0 +1,47 @@
+type timer = { mutable cancelled : bool; mutable fired : bool }
+
+type event = { timer : timer; action : unit -> unit }
+
+type t = { mutable clock : Tdat_timerange.Time_us.t; queue : event Heap.t }
+
+let create () = { clock = 0; queue = Heap.create () }
+let now t = t.clock
+
+let schedule_at t at action =
+  if at < t.clock then
+    invalid_arg
+      (Printf.sprintf "Engine.schedule_at: %d is in the past (now %d)" at
+         t.clock);
+  let timer = { cancelled = false; fired = false } in
+  Heap.push t.queue at { timer; action };
+  timer
+
+let schedule_after t d action =
+  if d < 0 then invalid_arg "Engine.schedule_after: negative delay";
+  schedule_at t (t.clock + d) action
+
+let cancel timer = timer.cancelled <- true
+let is_pending timer = (not timer.cancelled) && not timer.fired
+
+let run ?until t =
+  let stop = ref false in
+  while not !stop do
+    match Heap.peek_key t.queue with
+    | None -> stop := true
+    | Some at ->
+        (match until with
+        | Some limit when at > limit ->
+            t.clock <- limit;
+            stop := true
+        | _ ->
+            (match Heap.pop t.queue with
+            | None -> stop := true
+            | Some (at, ev) ->
+                t.clock <- at;
+                if not ev.timer.cancelled then begin
+                  ev.timer.fired <- true;
+                  ev.action ()
+                end))
+  done
+
+let pending_events t = Heap.size t.queue

@@ -1,0 +1,1 @@
+lib/pkt/endpoint.ml: Format Int Int32 Printf

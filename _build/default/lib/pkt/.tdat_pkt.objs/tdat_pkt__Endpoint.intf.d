@@ -1,0 +1,1 @@
+lib/pkt/endpoint.mli: Format

@@ -1,0 +1,1 @@
+lib/pkt/flow.ml: Endpoint Format Tcp_segment

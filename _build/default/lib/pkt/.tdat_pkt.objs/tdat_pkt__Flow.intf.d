@@ -1,0 +1,1 @@
+lib/pkt/flow.mli: Endpoint Format Tcp_segment

@@ -1,0 +1,1 @@
+lib/pkt/pcap.ml: Buffer Bytes Char Endpoint Fun Int32 List String Tcp_segment Trace

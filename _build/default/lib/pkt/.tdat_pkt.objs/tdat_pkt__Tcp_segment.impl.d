@@ -1,0 +1,1 @@
+lib/pkt/tcp_segment.ml: Endpoint Format Int String Tdat_timerange

@@ -1,0 +1,1 @@
+lib/pkt/tcp_segment.mli: Endpoint Format Tdat_timerange

@@ -1,0 +1,1 @@
+lib/pkt/trace.ml: Array Endpoint Flow Hashtbl List Span Span_set Tcp_segment Tdat_timerange

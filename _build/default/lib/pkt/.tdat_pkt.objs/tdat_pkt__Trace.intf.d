@@ -1,0 +1,1 @@
+lib/pkt/trace.mli: Endpoint Flow Tcp_segment Tdat_timerange

@@ -1,0 +1,25 @@
+(** Connection identity (unordered endpoint pair) and direction tagging.
+
+    Every BGP monitoring trace in the paper has a well-defined data
+    direction: operational router ("Sender") to collector ("Receiver").
+    A {!t} fixes that orientation so packets can be split into the
+    Sender→Receiver data stream and the Receiver→Sender ACK stream. *)
+
+type t = { sender : Endpoint.t; receiver : Endpoint.t }
+
+type direction = To_receiver | To_sender
+
+val v : sender:Endpoint.t -> receiver:Endpoint.t -> t
+
+val key : t -> Endpoint.t * Endpoint.t
+(** Canonical unordered key: the lexicographically smaller endpoint
+    first.  Two flows over the same connection share a key regardless of
+    orientation. *)
+
+val direction_of : t -> Tcp_segment.t -> direction option
+(** [None] when the segment does not belong to this connection. *)
+
+val matches : t -> Tcp_segment.t -> bool
+val compare : t -> t -> int
+val equal : t -> t -> bool
+val pp : Format.formatter -> t -> unit

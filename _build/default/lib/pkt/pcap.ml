@@ -1,0 +1,194 @@
+let magic_us = 0xA1B2C3D4l
+let magic_ns = 0xA1B23C4Dl
+
+let ethernet_header_len = 14
+let ipv4_header_len = 20
+
+(* --- encoding ------------------------------------------------------- *)
+
+let encode_packet buf (s : Tcp_segment.t) =
+  let tcp_options_len = if s.mss_opt <> None then 4 else 0 in
+  let tcp_header_len = 20 + tcp_options_len in
+  let ip_total = ipv4_header_len + tcp_header_len + s.len in
+  let frame_len = ethernet_header_len + ip_total in
+  (* pcap record header (little endian) *)
+  let hdr = Bytes.create 16 in
+  Bytes.set_int32_le hdr 0 (Int32.of_int (s.ts / 1_000_000));
+  Bytes.set_int32_le hdr 4 (Int32.of_int (s.ts mod 1_000_000));
+  Bytes.set_int32_le hdr 8 (Int32.of_int frame_len);
+  Bytes.set_int32_le hdr 12 (Int32.of_int frame_len);
+  Buffer.add_bytes buf hdr;
+  let frame = Bytes.make frame_len '\000' in
+  (* Ethernet: zero MACs, ethertype IPv4. *)
+  Bytes.set_uint16_be frame 12 0x0800;
+  (* IPv4 header *)
+  let ip = ethernet_header_len in
+  Bytes.set_uint8 frame ip 0x45;
+  Bytes.set_uint16_be frame (ip + 2) ip_total;
+  Bytes.set_uint8 frame (ip + 8) 64 (* TTL *);
+  Bytes.set_uint8 frame (ip + 9) 6 (* protocol TCP *);
+  Bytes.set_int32_be frame (ip + 12) s.src.Endpoint.ip;
+  Bytes.set_int32_be frame (ip + 16) s.dst.Endpoint.ip;
+  (* TCP header *)
+  let tcp = ip + ipv4_header_len in
+  Bytes.set_uint16_be frame tcp s.src.Endpoint.port;
+  Bytes.set_uint16_be frame (tcp + 2) s.dst.Endpoint.port;
+  Bytes.set_int32_be frame (tcp + 4) (Int32.of_int (s.seq land 0xFFFFFFFF));
+  Bytes.set_int32_be frame (tcp + 8) (Int32.of_int (s.ack land 0xFFFFFFFF));
+  let data_offset = tcp_header_len / 4 in
+  Bytes.set_uint8 frame (tcp + 12) (data_offset lsl 4);
+  let flag_bits =
+    (if s.flags.Tcp_segment.fin then 0x01 else 0)
+    lor (if s.flags.syn then 0x02 else 0)
+    lor (if s.flags.rst then 0x04 else 0)
+    lor (if s.flags.psh then 0x08 else 0)
+    lor if s.flags.ack then 0x10 else 0
+  in
+  Bytes.set_uint8 frame (tcp + 13) flag_bits;
+  Bytes.set_uint16_be frame (tcp + 14) (min s.window 0xFFFF);
+  (match s.mss_opt with
+  | Some mss ->
+      Bytes.set_uint8 frame (tcp + 20) 2;
+      Bytes.set_uint8 frame (tcp + 21) 4;
+      Bytes.set_uint16_be frame (tcp + 22) mss
+  | None -> ());
+  (* Payload. If the segment's payload was not materialized, synthesize
+     zero bytes of the declared length so stream offsets stay exact. *)
+  if s.payload <> "" then
+    Bytes.blit_string s.payload 0 frame (tcp + tcp_header_len) s.len;
+  Buffer.add_bytes buf frame
+
+let encode trace =
+  let buf = Buffer.create 4096 in
+  let ghdr = Bytes.create 24 in
+  Bytes.set_int32_le ghdr 0 magic_us;
+  Bytes.set_uint16_le ghdr 4 2;
+  Bytes.set_uint16_le ghdr 6 4;
+  Bytes.set_int32_le ghdr 8 0l;
+  Bytes.set_int32_le ghdr 12 0l;
+  Bytes.set_int32_le ghdr 16 65535l;
+  Bytes.set_int32_le ghdr 20 1l (* LINKTYPE_ETHERNET *);
+  Buffer.add_bytes buf ghdr;
+  List.iter (encode_packet buf) (Trace.segments trace);
+  Buffer.contents buf
+
+(* --- decoding ------------------------------------------------------- *)
+
+type endianness = Le | Be
+
+let read_u16 e s off =
+  match e with
+  | Le -> Char.code s.[off] lor (Char.code s.[off + 1] lsl 8)
+  | Be -> (Char.code s.[off] lsl 8) lor Char.code s.[off + 1]
+
+let read_u32 e s off =
+  match e with
+  | Le ->
+      Char.code s.[off]
+      lor (Char.code s.[off + 1] lsl 8)
+      lor (Char.code s.[off + 2] lsl 16)
+      lor (Char.code s.[off + 3] lsl 24)
+  | Be ->
+      (Char.code s.[off] lsl 24)
+      lor (Char.code s.[off + 1] lsl 16)
+      lor (Char.code s.[off + 2] lsl 8)
+      lor Char.code s.[off + 3]
+
+let decode data =
+  if String.length data < 24 then failwith "Pcap.decode: truncated header";
+  let raw_magic = read_u32 Le data 0 in
+  let endian, ns =
+    if Int32.of_int raw_magic = magic_us then (Le, false)
+    else if Int32.of_int raw_magic = magic_ns then (Le, true)
+    else begin
+      let be_magic = read_u32 Be data 0 in
+      if Int32.of_int be_magic = magic_us then (Be, false)
+      else if Int32.of_int be_magic = magic_ns then (Be, true)
+      else failwith "Pcap.decode: bad magic"
+    end
+  in
+  let link_type = read_u32 endian data 20 in
+  if link_type <> 1 then failwith "Pcap.decode: unsupported link type";
+  let len = String.length data in
+  let segs = ref [] in
+  let pos = ref 24 in
+  while !pos + 16 <= len do
+    let ts_sec = read_u32 endian data !pos in
+    let ts_sub = read_u32 endian data (!pos + 4) in
+    let incl = read_u32 endian data (!pos + 8) in
+    let frame_off = !pos + 16 in
+    if frame_off + incl > len then failwith "Pcap.decode: truncated packet";
+    let ts_us = if ns then ts_sub / 1000 else ts_sub in
+    let ts = (ts_sec * 1_000_000) + ts_us in
+    (* Parse Ethernet / IPv4 / TCP; skip anything else. *)
+    (if incl >= ethernet_header_len + ipv4_header_len + 20 then begin
+       let ethertype = read_u16 Be data (frame_off + 12) in
+       if ethertype = 0x0800 then begin
+         let ip = frame_off + ethernet_header_len in
+         let ihl = (Char.code data.[ip] land 0x0F) * 4 in
+         let proto = Char.code data.[ip + 9] in
+         let ip_total = read_u16 Be data (ip + 2) in
+         if proto = 6 then begin
+           let src_ip = Int32.of_int (read_u32 Be data (ip + 12)) in
+           let dst_ip = Int32.of_int (read_u32 Be data (ip + 16)) in
+           let tcp = ip + ihl in
+           let src_port = read_u16 Be data tcp in
+           let dst_port = read_u16 Be data (tcp + 2) in
+           let seq = read_u32 Be data (tcp + 4) in
+           let ack = read_u32 Be data (tcp + 8) in
+           let doff = (Char.code data.[tcp + 12] lsr 4) * 4 in
+           let fl = Char.code data.[tcp + 13] in
+           let window = read_u16 Be data (tcp + 14) in
+           let payload_off = tcp + doff in
+           let payload_len = ip_total - ihl - doff in
+           let payload_len =
+             max 0 (min payload_len (frame_off + incl - payload_off))
+           in
+           let payload = String.sub data payload_off payload_len in
+           (* MSS option scan *)
+           let mss_opt = ref None in
+           let o = ref (tcp + 20) in
+           (try
+              while !o < tcp + doff do
+                match Char.code data.[!o] with
+                | 0 -> raise Exit
+                | 1 -> incr o
+                | 2 ->
+                    mss_opt := Some (read_u16 Be data (!o + 2));
+                    o := !o + 4
+                | _ ->
+                    let olen = Char.code data.[!o + 1] in
+                    if olen < 2 then raise Exit;
+                    o := !o + olen
+              done
+            with Exit -> ());
+           let flags =
+             Tcp_segment.flags ~fin:(fl land 0x01 <> 0)
+               ~syn:(fl land 0x02 <> 0) ~rst:(fl land 0x04 <> 0)
+               ~psh:(fl land 0x08 <> 0) ~ack:(fl land 0x10 <> 0) ()
+           in
+           let seg =
+             Tcp_segment.v ~ts
+               ~src:(Endpoint.v src_ip src_port)
+               ~dst:(Endpoint.v dst_ip dst_port)
+               ~seq ~ack ~window ~flags ?mss_opt:!mss_opt ~payload ()
+           in
+           segs := seg :: !segs
+         end
+       end
+     end);
+    pos := frame_off + incl
+  done;
+  Trace.of_segments (List.rev !segs)
+
+let to_file path trace =
+  let oc = open_out_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_out oc)
+    (fun () -> output_string oc (encode trace))
+
+let of_file path =
+  let ic = open_in_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_in ic)
+    (fun () -> decode (really_input_string ic (in_channel_length ic)))

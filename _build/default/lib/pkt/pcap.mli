@@ -1,0 +1,21 @@
+(** Minimal libpcap file codec.
+
+    Writes traces as classic pcap files (microsecond timestamps, Ethernet
+    link type) with fabricated Ethernet/IPv4/TCP headers, and reads them
+    back — enough for [pcap2bgp] and the CLI to interoperate with
+    tcpdump-style tooling on the synthetic traces.  Checksums are written
+    as zero and ignored on read.
+
+    Sequence numbers are wrapped to 32 bits on write; reads return the raw
+    32-bit values (traces produced by this repository never wrap). *)
+
+val encode : Trace.t -> string
+(** Serializes a trace to pcap file bytes. *)
+
+val decode : string -> Trace.t
+(** Parses pcap file bytes (both little- and big-endian files, µs or ns
+    resolution; ns timestamps are truncated to µs).
+    @raise Failure on malformed input.  Non-TCP packets are skipped. *)
+
+val to_file : string -> Trace.t -> unit
+val of_file : string -> Trace.t

@@ -1,0 +1,59 @@
+type flags = {
+  syn : bool;
+  ack : bool;
+  fin : bool;
+  rst : bool;
+  psh : bool;
+}
+
+let flags ?(syn = false) ?(ack = false) ?(fin = false) ?(rst = false)
+    ?(psh = false) () =
+  { syn; ack; fin; rst; psh }
+
+let data_flags = flags ~ack:true ~psh:true ()
+let ack_flags = flags ~ack:true ()
+
+type t = {
+  ts : Tdat_timerange.Time_us.t;
+  src : Endpoint.t;
+  dst : Endpoint.t;
+  seq : int;
+  ack : int;
+  len : int;
+  window : int;
+  flags : flags;
+  mss_opt : int option;
+  payload : string;
+}
+
+let v ~ts ~src ~dst ~seq ~ack ?len ?(window = 65535) ?(flags = ack_flags)
+    ?mss_opt ?(payload = "") () =
+  let len =
+    match len with
+    | None -> String.length payload
+    | Some l ->
+        if payload <> "" && l <> String.length payload then
+          invalid_arg "Tcp_segment.v: len disagrees with payload";
+        l
+  in
+  if len < 0 then invalid_arg "Tcp_segment.v: negative len";
+  { ts; src; dst; seq; ack; len; window; flags; mss_opt; payload }
+
+let seq_end t = t.seq + t.len
+let is_data t = t.len > 0
+
+let is_pure_ack t =
+  t.len = 0 && t.flags.ack && (not t.flags.syn) && (not t.flags.fin)
+  && not t.flags.rst
+
+let compare_ts a b =
+  match Int.compare a.ts b.ts with
+  | 0 -> Int.compare a.seq b.seq
+  | c -> c
+
+let pp ppf t =
+  let flag b c = if b then c else "" in
+  Format.fprintf ppf "%a %a>%a seq=%d ack=%d len=%d win=%d %s%s%s%s%s"
+    Tdat_timerange.Time_us.pp t.ts Endpoint.pp t.src Endpoint.pp t.dst t.seq
+    t.ack t.len t.window (flag t.flags.syn "S") (flag t.flags.ack "A")
+    (flag t.flags.fin "F") (flag t.flags.rst "R") (flag t.flags.psh "P")

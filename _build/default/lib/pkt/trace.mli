@@ -1,0 +1,35 @@
+(** An in-memory packet trace: time-ordered TCP segments plus the void
+    periods during which the sniffer is known to have dropped packets
+    (Section II-A: "tcpdump can sometimes drop packets and leaves void
+    periods in the trace.  We exclude those periods"). *)
+
+type t
+
+val of_segments :
+  ?voids:Tdat_timerange.Span_set.t -> Tcp_segment.t list -> t
+(** Sorts by timestamp. *)
+
+val segments : t -> Tcp_segment.t list
+val voids : t -> Tdat_timerange.Span_set.t
+val length : t -> int
+
+val total_bytes : t -> int
+(** Sum of payload lengths. *)
+
+val window : t -> Tdat_timerange.Span.t option
+(** Span from first to last timestamp (inclusive end +1 µs). *)
+
+val connections : t -> (Endpoint.t * Endpoint.t) list
+(** Distinct unordered endpoint pairs, in first-appearance order. *)
+
+val split_connection : t -> sender:Endpoint.t -> receiver:Endpoint.t -> t
+(** Sub-trace of one connection (both directions); voids inherited. *)
+
+val filter : (Tcp_segment.t -> bool) -> t -> t
+val merge : t -> t -> t
+val append : t -> Tcp_segment.t list -> t
+
+val infer_sender : t -> (Endpoint.t * Endpoint.t) -> Flow.t
+(** For a connection key, orient the flow: the endpoint that contributed
+    the most payload bytes is the Sender.  Collectors never announce
+    routes, so the orientation is unambiguous in BGP monitoring traces. *)

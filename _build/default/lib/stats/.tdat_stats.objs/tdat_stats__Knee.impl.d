@@ -1,0 +1,1 @@
+lib/stats/knee.ml: Array Float

@@ -1,0 +1,114 @@
+let glyphs = [| '*'; '+'; 'o'; 'x'; '#'; '@'; '%'; '&' |]
+
+let make_grid width height = Array.make_matrix height width ' '
+
+let render_grid ?(x_label = "") ?(y_label = "") grid ~y_max ~x_min ~x_max =
+  let height = Array.length grid in
+  let width = if height = 0 then 0 else Array.length grid.(0) in
+  let buf = Buffer.create ((width + 12) * (height + 3)) in
+  if y_label <> "" then Buffer.add_string buf (Printf.sprintf "  %s\n" y_label);
+  for row = 0 to height - 1 do
+    let yv = y_max *. float_of_int (height - row) /. float_of_int height in
+    Buffer.add_string buf (Printf.sprintf "%8.3g |" yv);
+    Array.iter (Buffer.add_char buf) grid.(row);
+    Buffer.add_char buf '\n'
+  done;
+  Buffer.add_string buf (Printf.sprintf "%8s +%s\n" "" (String.make width '-'));
+  Buffer.add_string buf
+    (Printf.sprintf "%8s  %.4g%*s%.4g  %s\n" "" x_min
+       (Stdlib.max 1 (width - 12))
+       "" x_max x_label);
+  Buffer.contents buf
+
+let plot_points grid glyph ~x_min ~x_max ~y_max points =
+  let height = Array.length grid in
+  let width = if height = 0 then 0 else Array.length grid.(0) in
+  let span_x = Stdlib.max (x_max -. x_min) 1e-12 in
+  let place (x, y) =
+    let col =
+      int_of_float ((x -. x_min) /. span_x *. float_of_int (width - 1))
+    in
+    let row_f = y /. Stdlib.max y_max 1e-12 *. float_of_int height in
+    let row = height - int_of_float (ceil row_f) in
+    let row = Stdlib.max 0 (Stdlib.min (height - 1) row) in
+    let col = Stdlib.max 0 (Stdlib.min (width - 1) col) in
+    grid.(row).(col) <- glyph
+  in
+  List.iter place points
+
+let cdf ?(width = 64) ?(height = 16) ?(x_label = "") series =
+  let all_x = List.concat_map (fun (_, pts) -> List.map fst pts) series in
+  let x_min = List.fold_left Stdlib.min infinity all_x in
+  let x_max = List.fold_left Stdlib.max neg_infinity all_x in
+  let x_min = if x_min = infinity then 0. else x_min in
+  let x_max = if x_max = neg_infinity then 1. else x_max in
+  let grid = make_grid width height in
+  List.iteri
+    (fun i (_, pts) ->
+      let glyph = glyphs.(i mod Array.length glyphs) in
+      (* Densify the step curve so it reads as a line. *)
+      let dense =
+        List.concat_map
+          (fun (x, y) -> [ (x, y) ])
+          pts
+      in
+      plot_points grid glyph ~x_min ~x_max ~y_max:1.0 dense)
+    series;
+  let legend =
+    series
+    |> List.mapi (fun i (name, _) ->
+           Printf.sprintf "  %c %s" glyphs.(i mod Array.length glyphs) name)
+    |> String.concat "\n"
+  in
+  render_grid ~x_label ~y_label:"CDF" grid ~y_max:1.0 ~x_min ~x_max
+  ^ legend ^ "\n"
+
+let scatter ?(width = 64) ?(height = 20) ?(x_label = "") ?(y_label = "")
+    ~x_max ~y_max series =
+  let grid = make_grid width height in
+  List.iter
+    (fun (glyph, pts) -> plot_points grid glyph ~x_min:0. ~x_max ~y_max pts)
+    series;
+  render_grid ~x_label ~y_label grid ~y_max ~x_min:0. ~x_max
+
+let timeline ?(width = 72) ~window rows =
+  let t0, t1 = window in
+  let span = Stdlib.max (t1 -. t0) 1e-12 in
+  let name_w =
+    List.fold_left (fun acc (n, _) -> Stdlib.max acc (String.length n)) 0 rows
+  in
+  let buf = Buffer.create 1024 in
+  let render_row (name, intervals) =
+    let cells = Bytes.make width '_' in
+    let mark (a, b) =
+      let c0 = int_of_float ((a -. t0) /. span *. float_of_int width) in
+      let c1 = int_of_float ((b -. t0) /. span *. float_of_int width) in
+      let c0 = Stdlib.max 0 (Stdlib.min (width - 1) c0) in
+      let c1 = Stdlib.max c0 (Stdlib.min (width - 1) c1) in
+      for c = c0 to c1 do
+        Bytes.set cells c '#'
+      done
+    in
+    List.iter mark intervals;
+    Buffer.add_string buf
+      (Printf.sprintf "%*s |%s|\n" name_w name (Bytes.to_string cells))
+  in
+  List.iter render_row rows;
+  Buffer.add_string buf
+    (Printf.sprintf "%*s  %.4g%*s%.4g\n" name_w "" t0
+       (Stdlib.max 1 (width - 10))
+       "" t1);
+  Buffer.contents buf
+
+let curve ?(width = 64) ?(height = 16) ?(x_label = "") ?(y_label = "") points
+    =
+  let xs = List.map fst points and ys = List.map snd points in
+  let x_min = List.fold_left Stdlib.min infinity xs in
+  let x_max = List.fold_left Stdlib.max neg_infinity xs in
+  let y_max = List.fold_left Stdlib.max neg_infinity ys in
+  let x_min = if x_min = infinity then 0. else x_min in
+  let x_max = if x_max = neg_infinity then 1. else x_max in
+  let y_max = if y_max = neg_infinity then 1. else y_max in
+  let grid = make_grid width height in
+  plot_points grid '*' ~x_min ~x_max ~y_max points;
+  render_grid ~x_label ~y_label grid ~y_max ~x_min ~x_max

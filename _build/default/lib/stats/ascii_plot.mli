@@ -1,0 +1,44 @@
+(** Plain-text renderings of the paper's figures: CDF curves, scatter
+    plots, and square-wave event-series timelines (the role BGPlot plays in
+    the paper's tool suite, Table VI). *)
+
+val cdf :
+  ?width:int ->
+  ?height:int ->
+  ?x_label:string ->
+  (string * (float * float) list) list ->
+  string
+(** [cdf series] renders one or more CDF step curves on a shared grid.
+    Each series is [(name, points)] with points as produced by
+    {!Cdf.points}.  Distinct series use distinct glyphs. *)
+
+val scatter :
+  ?width:int ->
+  ?height:int ->
+  ?x_label:string ->
+  ?y_label:string ->
+  x_max:float ->
+  y_max:float ->
+  (char * (float * float) list) list ->
+  string
+(** [scatter ~x_max ~y_max series] plots point clouds; each series supplies
+    its own marker glyph (Fig. 14). *)
+
+val timeline :
+  ?width:int ->
+  window:float * float ->
+  (string * (float * float) list) list ->
+  string
+(** [timeline ~window rows] renders each row as a square wave: `▇` where
+    some interval covers the column, `_` elsewhere.  Intervals are
+    [(start, stop)] in the same unit as [window] (Figs. 5, 9, 11). *)
+
+val curve :
+  ?width:int ->
+  ?height:int ->
+  ?x_label:string ->
+  ?y_label:string ->
+  (float * float) list ->
+  string
+(** Single line plot for monotone curves such as the sorted gap-length
+    curve of Fig. 17. *)

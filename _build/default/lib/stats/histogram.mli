@@ -1,0 +1,21 @@
+(** Fixed-width histograms over float samples. *)
+
+type t
+
+val create : lo:float -> hi:float -> bins:int -> t
+(** @raise Invalid_argument if [hi <= lo] or [bins < 1]. *)
+
+val add : t -> float -> unit
+(** Samples outside [lo, hi) are clamped into the first/last bin. *)
+
+val add_list : t -> float list -> unit
+val counts : t -> int array
+val total : t -> int
+
+val bin_center : t -> int -> float
+
+val mode_center : t -> float option
+(** Center of the most populated bin; [None] if empty. *)
+
+val nonempty_bins : t -> (float * int) list
+(** [(center, count)] for bins with count > 0, in order. *)

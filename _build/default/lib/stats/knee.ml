@@ -1,0 +1,65 @@
+type fit = { slope : float; intercept : float; rmse : float }
+
+let linear_fit points =
+  let n = Array.length points in
+  if n < 2 then invalid_arg "Knee.linear_fit: need at least 2 points";
+  let fn = float_of_int n in
+  let sx = ref 0. and sy = ref 0. and sxx = ref 0. and sxy = ref 0. in
+  Array.iter
+    (fun (x, y) ->
+      sx := !sx +. x;
+      sy := !sy +. y;
+      sxx := !sxx +. (x *. x);
+      sxy := !sxy +. (x *. y))
+    points;
+  let denom = (fn *. !sxx) -. (!sx *. !sx) in
+  let slope =
+    if abs_float denom < 1e-12 then 0.
+    else ((fn *. !sxy) -. (!sx *. !sy)) /. denom
+  in
+  let intercept = (!sy -. (slope *. !sx)) /. fn in
+  let se = ref 0. in
+  Array.iter
+    (fun (x, y) ->
+      let e = y -. ((slope *. x) +. intercept) in
+      se := !se +. (e *. e))
+    points;
+  { slope; intercept; rmse = sqrt (!se /. fn) }
+
+let l_method points =
+  let n = Array.length points in
+  if n < 4 then None
+  else begin
+    let fn = float_of_int n in
+    let best = ref None in
+    (* Split c (1-based count of left points) from 2 to n-2 so both sides
+       hold at least two points. *)
+    for c = 2 to n - 2 do
+      let left = Array.sub points 0 c in
+      let right = Array.sub points c (n - c) in
+      let fl = linear_fit left and fr = linear_fit right in
+      let cost =
+        (float_of_int c /. fn *. fl.rmse)
+        +. (float_of_int (n - c) /. fn *. fr.rmse)
+      in
+      match !best with
+      | Some (_, best_cost) when best_cost <= cost -> ()
+      | _ -> best := Some (c, cost)
+    done;
+    match !best with
+    | None -> None
+    | Some (c, _) ->
+        let x, _ = points.(c - 1) in
+        Some (c - 1, x)
+  end
+
+let knee_of_sorted values =
+  match values with
+  | [] | [ _ ] | [ _; _ ] | [ _; _; _ ] -> None
+  | _ ->
+      let a = Array.of_list values in
+      Array.sort Float.compare a;
+      let points = Array.mapi (fun i v -> (float_of_int i, v)) a in
+      (match l_method points with
+      | None -> None
+      | Some (i, _) -> Some a.(i))

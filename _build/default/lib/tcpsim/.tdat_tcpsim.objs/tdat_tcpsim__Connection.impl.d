@@ -1,0 +1,1 @@
+lib/tcpsim/connection.ml: Hashtbl Int32 Lazy Receiver Sender Tcp_types Tdat_netsim Tdat_pkt Tdat_timerange

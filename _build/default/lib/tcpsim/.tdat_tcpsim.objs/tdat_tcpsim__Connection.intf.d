@@ -1,0 +1,1 @@
+lib/tcpsim/connection.mli: Receiver Sender Tcp_types Tdat_netsim Tdat_pkt Tdat_rng Tdat_timerange

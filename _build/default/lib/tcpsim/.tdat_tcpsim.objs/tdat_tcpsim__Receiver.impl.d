@@ -1,0 +1,1 @@
+lib/tcpsim/receiver.ml: Buffer List String Tcp_types Tdat_netsim Tdat_pkt

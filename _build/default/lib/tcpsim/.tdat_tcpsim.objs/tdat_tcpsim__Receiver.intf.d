@@ -1,0 +1,1 @@
+lib/tcpsim/receiver.mli: Tcp_types Tdat_netsim Tdat_pkt

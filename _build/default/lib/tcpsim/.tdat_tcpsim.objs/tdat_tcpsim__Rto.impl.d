@@ -1,0 +1,1 @@
+lib/tcpsim/rto.ml: Float Option Tdat_timerange

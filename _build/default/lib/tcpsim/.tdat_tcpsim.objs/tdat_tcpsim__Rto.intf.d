@@ -1,0 +1,1 @@
+lib/tcpsim/rto.mli: Tdat_timerange

@@ -1,0 +1,1 @@
+lib/tcpsim/sender.mli: Tcp_types Tdat_netsim Tdat_pkt Tdat_rng

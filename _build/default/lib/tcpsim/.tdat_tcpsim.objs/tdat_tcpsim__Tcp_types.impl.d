@@ -1,0 +1,1 @@
+lib/tcpsim/tcp_types.ml: Tdat_timerange

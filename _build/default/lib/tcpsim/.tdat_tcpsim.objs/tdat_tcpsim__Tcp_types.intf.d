@@ -1,0 +1,1 @@
+lib/tcpsim/tcp_types.mli: Tdat_timerange

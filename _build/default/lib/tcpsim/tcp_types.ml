@@ -1,0 +1,30 @@
+type flavor = Tahoe | Reno | New_reno
+
+type config = {
+  mss : int;
+  max_adv_window : int;
+  flavor : flavor;
+  init_cwnd_segments : int;
+  min_rto : Tdat_timerange.Time_us.t;
+  max_rto : Tdat_timerange.Time_us.t;
+  rto_backoff : float;
+  delack_time : Tdat_timerange.Time_us.t;
+  delack_segments : int;
+  persist_interval : Tdat_timerange.Time_us.t;
+  window_update_loss_prob : float;
+}
+
+let default =
+  {
+    mss = 1400;
+    max_adv_window = 65535;
+    flavor = New_reno;
+    init_cwnd_segments = 2;
+    min_rto = 200_000;
+    max_rto = 60_000_000;
+    rto_backoff = 2.0;
+    delack_time = 100_000;
+    delack_segments = 2;
+    persist_interval = 500_000;
+    window_update_loss_prob = 0.;
+  }

@@ -1,0 +1,36 @@
+(** Configuration shared by the TCP endpoints.
+
+    The analyzer assumes only "TCP uses congestion and receive windows to
+    control packet delivery (TCP flavours such as Tahoe, Reno, New Reno)"
+    (Section III); these are exactly the flavours the simulator offers. *)
+
+type flavor = Tahoe | Reno | New_reno
+
+type config = {
+  mss : int;  (** Maximum segment size, bytes. *)
+  max_adv_window : int;
+      (** Receive-buffer capacity = maximum advertised window (the
+          paper's 65 KB for ISP_A vs 16 KB for RouteViews). *)
+  flavor : flavor;
+  init_cwnd_segments : int;  (** Initial congestion window, in segments. *)
+  min_rto : Tdat_timerange.Time_us.t;
+  max_rto : Tdat_timerange.Time_us.t;
+  rto_backoff : float;
+      (** Multiplier per successive timeout; RouteViews' "aggressive
+          backoff" uses a larger factor. *)
+  delack_time : Tdat_timerange.Time_us.t;
+      (** Delayed-ACK timeout; 0 acknowledges every segment
+          immediately. *)
+  delack_segments : int;  (** ACK at latest every n-th data segment. *)
+  persist_interval : Tdat_timerange.Time_us.t;
+      (** Initial zero-window probe interval. *)
+  window_update_loss_prob : float;
+      (** The zero-window-probe implementation bug of Section IV-B: the
+          probability that a window-update ACK arriving while the sender
+          sits in persist state is incorrectly discarded, leaving the
+          sender probing with backoff.  0 disables the bug. *)
+}
+
+val default : config
+(** 1400-byte MSS, 64 KB window, NewReno, 200 ms min RTO, factor-2
+    backoff, delayed ACKs every 2nd segment or 100 ms, no bug. *)

@@ -1,0 +1,1 @@
+lib/timerange/series.ml: Array Format List Span Span_set

@@ -1,0 +1,1 @@
+lib/timerange/series.mli: Format Span Span_set Time_us

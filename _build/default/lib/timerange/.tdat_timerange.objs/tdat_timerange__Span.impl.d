@@ -1,0 +1,1 @@
+lib/timerange/span.ml: Format Int Printf Time_us

@@ -1,0 +1,1 @@
+lib/timerange/span.mli: Format Time_us

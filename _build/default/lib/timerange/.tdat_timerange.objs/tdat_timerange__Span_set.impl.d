@@ -1,0 +1,1 @@
+lib/timerange/span_set.ml: Array Format List Span

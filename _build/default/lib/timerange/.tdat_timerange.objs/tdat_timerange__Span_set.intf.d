@@ -1,0 +1,1 @@
+lib/timerange/span_set.mli: Format Span Time_us

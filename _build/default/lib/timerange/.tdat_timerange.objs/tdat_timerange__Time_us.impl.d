@@ -1,0 +1,1 @@
+lib/timerange/time_us.ml: Float Format Stdlib

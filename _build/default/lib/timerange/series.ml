@@ -1,0 +1,60 @@
+type 'a t = (Span.t * 'a) array
+
+let empty = [||]
+let is_empty s = Array.length s = 0
+
+let compare_event (sa, _) (sb, _) = Span.compare sa sb
+
+let of_list events =
+  let a = Array.of_list events in
+  Array.stable_sort compare_event a;
+  a
+
+let to_list = Array.to_list
+let cardinal = Array.length
+let to_span_set s = Span_set.of_spans (List.map fst (to_list s))
+let size s = Span_set.size (to_span_set s)
+let map f s = Array.map (fun (sp, x) -> (sp, f x)) s
+
+let map_spans f s =
+  let a = Array.map (fun (sp, x) -> (f sp, x)) s in
+  Array.stable_sort compare_event a;
+  a
+
+let filter f s =
+  Array.to_list s |> List.filter (fun (sp, x) -> f sp x) |> Array.of_list
+
+let fold f s acc = Array.fold_left (fun acc (sp, x) -> f sp x acc) acc s
+let iter f s = Array.iter (fun (sp, x) -> f sp x) s
+
+let merge a b =
+  let out = Array.append a b in
+  Array.stable_sort compare_event out;
+  out
+
+let clip window s =
+  Array.to_list s
+  |> List.filter_map (fun (sp, x) ->
+         match Span.inter window sp with
+         | Some sp' -> Some (sp', x)
+         | None -> None)
+  |> Array.of_list
+
+let durations s = List.map (fun (sp, _) -> Span.length sp) (to_list s)
+
+let events_in window s =
+  List.filter (fun (sp, _) -> Span.overlaps window sp) (to_list s)
+
+type 'a builder = (Span.t * 'a) list ref
+
+let builder () = ref []
+let add b sp x = b := (sp, x) :: !b
+let build b = of_list !b
+
+let pp pp_data ppf s =
+  let pp_event ppf (sp, x) =
+    Format.fprintf ppf "%a:%a" Span.pp sp pp_data x
+  in
+  Format.fprintf ppf "@[<v>%a@]"
+    (Format.pp_print_list ~pp_sep:Format.pp_print_cut pp_event)
+    (to_list s)

@@ -1,0 +1,58 @@
+(** Event series: an ordered set of time durations, each carrying a
+    reference to the underlying trace data (the paper's
+    [(event_duration, event_data)] 2-tuples, Section III-A).
+
+    Unlike {!Span_set}, events are {e not} coalesced — each event keeps its
+    own payload and exact boundaries, so the series "faithfully preserves
+    the exact packet timing information" for drill-down.  Quantification
+    (delay ratios) goes through {!to_span_set}/{!size}, which is where
+    overlap is collapsed. *)
+
+type 'a t
+
+val empty : 'a t
+val is_empty : 'a t -> bool
+
+val of_list : (Span.t * 'a) list -> 'a t
+(** Sorts events by span (start, then stop).  Overlapping events are
+    allowed and preserved. *)
+
+val to_list : 'a t -> (Span.t * 'a) list
+val cardinal : 'a t -> int
+
+val to_span_set : 'a t -> Span_set.t
+(** Collapses the events into a canonical span set. *)
+
+val size : 'a t -> Time_us.t
+(** [size s] is [Span_set.size (to_span_set s)] — overlapping events are
+    not double-counted, matching the paper's set-size measure. *)
+
+val map : ('a -> 'b) -> 'a t -> 'b t
+val map_spans : (Span.t -> Span.t) -> 'a t -> 'a t
+
+val filter : (Span.t -> 'a -> bool) -> 'a t -> 'a t
+val fold : (Span.t -> 'a -> 'acc -> 'acc) -> 'a t -> 'acc -> 'acc
+val iter : (Span.t -> 'a -> unit) -> 'a t -> unit
+
+val merge : 'a t -> 'a t -> 'a t
+(** Union of the two event lists (payloads kept), re-sorted. *)
+
+val clip : Span.t -> 'a t -> 'a t
+(** Keeps the events intersecting the window, with their spans trimmed to
+    it (payloads untouched). *)
+
+val durations : 'a t -> Time_us.t list
+(** Lengths of the individual events in order — the input to gap-length
+    distribution analysis (Fig. 17). *)
+
+val events_in : Span.t -> 'a t -> (Span.t * 'a) list
+(** Drill-down: the events overlapping a window of interest. *)
+
+type 'a builder
+
+val builder : unit -> 'a builder
+val add : 'a builder -> Span.t -> 'a -> unit
+val build : 'a builder -> 'a t
+(** Builders accept events in any order; [build] sorts once. *)
+
+val pp : (Format.formatter -> 'a -> unit) -> Format.formatter -> 'a t -> unit

@@ -1,0 +1,136 @@
+(* Canonical form: an array of disjoint, non-adjacent spans in increasing
+   order.  The array representation makes point queries O(log n) and the
+   linear merges below cache-friendly, which matters when a trace yields
+   hundreds of thousands of events. *)
+
+type t = Span.t array
+
+let empty = [||]
+let is_empty s = Array.length s = 0
+
+let coalesce_sorted spans =
+  (* [spans]: sorted by start.  Merge overlapping or adjacent spans. *)
+  match spans with
+  | [] -> [||]
+  | first :: rest ->
+      let acc = ref [] in
+      let cur = ref first in
+      let flush () = acc := !cur :: !acc in
+      let absorb s =
+        if Span.touches !cur s then cur := Span.hull !cur s
+        else begin
+          flush ();
+          cur := s
+        end
+      in
+      List.iter absorb rest;
+      flush ();
+      Array.of_list (List.rev !acc)
+
+let of_spans spans = coalesce_sorted (List.sort Span.compare spans)
+let of_span s = [| s |]
+let to_list s = Array.to_list s
+let cardinal = Array.length
+let size s = Array.fold_left (fun acc sp -> acc + Span.length sp) 0 s
+
+let find_covering t s =
+  (* Index of the span containing instant [t], or -1. *)
+  let lo = ref 0 and hi = ref (Array.length s - 1) and found = ref (-1) in
+  while !lo <= !hi do
+    let mid = (!lo + !hi) / 2 in
+    let sp = s.(mid) in
+    if t < Span.start sp then hi := mid - 1
+    else if t >= Span.stop sp then lo := mid + 1
+    else begin
+      found := mid;
+      lo := !hi + 1
+    end
+  done;
+  !found
+
+let mem t s = find_covering t s >= 0
+
+let span_at t s =
+  let i = find_covering t s in
+  if i >= 0 then Some s.(i) else None
+
+let add sp s = of_spans (sp :: to_list s)
+
+(* Two-pointer union over the already-sorted inputs. *)
+let union a b =
+  if is_empty a then b
+  else if is_empty b then a
+  else begin
+    let n = Array.length a and m = Array.length b in
+    let merged = ref [] in
+    let i = ref 0 and j = ref 0 in
+    while !i < n || !j < m do
+      let take_a =
+        !j >= m || (!i < n && Span.compare a.(!i) b.(!j) <= 0)
+      in
+      if take_a then begin
+        merged := a.(!i) :: !merged;
+        incr i
+      end
+      else begin
+        merged := b.(!j) :: !merged;
+        incr j
+      end
+    done;
+    coalesce_sorted (List.rev !merged)
+  end
+
+let inter a b =
+  let n = Array.length a and m = Array.length b in
+  let out = ref [] in
+  let i = ref 0 and j = ref 0 in
+  while !i < n && !j < m do
+    (match Span.inter a.(!i) b.(!j) with
+    | Some s -> out := s :: !out
+    | None -> ());
+    if Span.stop a.(!i) <= Span.stop b.(!j) then incr i else incr j
+  done;
+  Array.of_list (List.rev !out)
+
+let complement ~within s =
+  let clipped =
+    Array.to_list s |> List.filter_map (fun sp -> Span.inter within sp)
+  in
+  let out = ref [] in
+  let cursor = ref (Span.start within) in
+  let visit sp =
+    if Span.start sp > !cursor then
+      out := Span.v !cursor (Span.start sp) :: !out;
+    cursor := max !cursor (Span.stop sp)
+  in
+  List.iter visit clipped;
+  if !cursor < Span.stop within then out := Span.v !cursor (Span.stop within) :: !out;
+  Array.of_list (List.rev !out)
+
+let diff a b =
+  match a with
+  | [||] -> empty
+  | _ ->
+      let whole = Span.hull a.(0) a.(Array.length a - 1) in
+      inter a (complement ~within:whole b)
+
+let clip window s =
+  Array.to_list s
+  |> List.filter_map (fun sp -> Span.inter window sp)
+  |> Array.of_list
+
+let hull s =
+  if is_empty s then None else Some (Span.hull s.(0) s.(Array.length s - 1))
+
+let filter f s = Array.of_list (List.filter f (Array.to_list s))
+let longer_than d s = filter (fun sp -> Span.length sp > d) s
+let fold f s acc = Array.fold_left (fun acc sp -> f sp acc) acc s
+let iter f s = Array.iter f s
+
+let equal a b =
+  Array.length a = Array.length b && Array.for_all2 Span.equal a b
+
+let pp ppf s =
+  Format.fprintf ppf "{@[%a@]}"
+    (Format.pp_print_list ~pp_sep:Format.pp_print_space Span.pp)
+    (to_list s)

@@ -1,0 +1,39 @@
+(** Time values in integer microseconds.
+
+    Every timestamp and duration in this repository is an [int] number of
+    microseconds.  On a 64-bit platform this covers about 292 millennia, so
+    overflow is not a practical concern for packet traces.  The paper
+    ("Implementation", Section V-C) converts tcpdump's second-based
+    timestamps to microseconds and stores them as big integers; native
+    [int] plays that role here. *)
+
+type t = int
+
+val zero : t
+
+val of_s : float -> t
+(** [of_s s] converts seconds (possibly fractional) to microseconds,
+    rounding to the nearest microsecond. *)
+
+val of_ms : float -> t
+(** [of_ms ms] converts milliseconds to microseconds. *)
+
+val of_us : int -> t
+(** Identity; documents intent at call sites. *)
+
+val to_s : t -> float
+(** [to_s t] converts back to (fractional) seconds. *)
+
+val to_ms : t -> float
+(** [to_ms t] converts to (fractional) milliseconds. *)
+
+val ( + ) : t -> t -> t
+val ( - ) : t -> t -> t
+
+val min : t -> t -> t
+val max : t -> t -> t
+
+val pp : Format.formatter -> t -> unit
+(** Prints a human-readable duration, picking µs/ms/s units. *)
+
+val to_string : t -> string

@@ -1,0 +1,1 @@
+test/test_bgp.ml: Alcotest As_path Attr Buffer Bytes List Mct Mrt Msg Msg_reader Prefix Stream_reassembly String Table Tdat_bgp Tdat_pkt Tdat_rng Update_gen

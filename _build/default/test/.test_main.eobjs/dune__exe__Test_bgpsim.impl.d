@@ -1,0 +1,1 @@
+test/test_bgpsim.ml: Alcotest Collector List Printf Scenario Tdat_bgp Tdat_bgpsim Tdat_pkt Tdat_timerange

@@ -1,0 +1,1 @@
+test/test_detectors.ml: Alcotest Analyzer Conn_profile Detect_loss Detect_peer_group Detect_timer Detect_zero_ack List Report Series_defs Series_gen String Tdat Tdat_pkt Tdat_rng Tdat_timerange

@@ -1,0 +1,1 @@
+test/test_fleet.ml: Alcotest Fleet List Scenario Tdat Tdat_bgpsim Tdat_pkt

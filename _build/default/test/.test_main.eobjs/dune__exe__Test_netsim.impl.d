@@ -1,0 +1,1 @@
+test/test_netsim.ml: Alcotest Engine Fun Hashtbl Heap Link List Loss Option QCheck QCheck_alcotest Sniffer String Tdat_netsim Tdat_pkt Tdat_rng Tdat_timerange

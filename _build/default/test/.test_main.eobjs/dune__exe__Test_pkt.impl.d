@@ -1,0 +1,1 @@
+test/test_pkt.ml: Alcotest Endpoint Filename Flow Format Fun List Pcap QCheck QCheck_alcotest String Sys Tcp_segment Tdat_pkt Trace

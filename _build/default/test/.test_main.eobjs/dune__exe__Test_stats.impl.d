@@ -1,0 +1,1 @@
+test/test_stats.ml: Alcotest Array Ascii_plot Cdf Descriptive Histogram Knee List Option Printf QCheck QCheck_alcotest String Tdat_stats

@@ -1,0 +1,1 @@
+test/test_tcpsim.ml: Alcotest Buffer Char Connection List Receiver Rto Sender String Tcp_types Tdat_netsim Tdat_pkt Tdat_rng Tdat_tcpsim

@@ -1,0 +1,1 @@
+test/test_timerange.ml: Alcotest Format List QCheck QCheck_alcotest Series Span Span_set Tdat_timerange Time_us

@@ -1,0 +1,16 @@
+let () =
+  Alcotest.run "tdat"
+    [
+      ("timerange", Test_timerange.suite);
+      ("stats", Test_stats.suite);
+      ("pkt", Test_pkt.suite);
+      ("bgp", Test_bgp.suite);
+      ("netsim", Test_netsim.suite);
+      ("tcpsim", Test_tcpsim.suite);
+      ("bgpsim", Test_bgpsim.suite);
+      ("analyzer", Test_analyzer.suite);
+      ("detectors", Test_detectors.suite);
+      ("fleet", Test_fleet.suite);
+      ("properties", Test_properties.suite);
+      ("misc", Test_misc.suite);
+    ]

@@ -1,0 +1,214 @@
+(* The time-range substrate: spans, canonical span sets, event series.
+   Includes qcheck properties for the set-algebra laws the analyzer
+   relies on. *)
+
+open Tdat_timerange
+
+let span = Alcotest.testable Span.pp Span.equal
+let span_set = Alcotest.testable Span_set.pp Span_set.equal
+
+(* --- Span ------------------------------------------------------------ *)
+
+let test_span_basics () =
+  let s = Span.v 10 20 in
+  Alcotest.(check int) "length" 10 (Span.length s);
+  Alcotest.(check bool) "contains start" true (Span.contains s 10);
+  Alcotest.(check bool) "excludes stop" false (Span.contains s 20);
+  Alcotest.check span "shift" (Span.v 15 25) (Span.shift 5 s);
+  Alcotest.(check int) "point length" 1 (Span.length (Span.point 7));
+  Alcotest.check_raises "empty span rejected"
+    (Invalid_argument "Span.v: stop (5) must be greater than start (5)")
+    (fun () -> ignore (Span.v 5 5))
+
+let test_span_relations () =
+  let a = Span.v 0 10 and b = Span.v 5 15 and c = Span.v 10 20 in
+  Alcotest.(check bool) "overlaps" true (Span.overlaps a b);
+  Alcotest.(check bool) "adjacent do not overlap" false (Span.overlaps a c);
+  Alcotest.(check bool) "adjacent touch" true (Span.touches a c);
+  Alcotest.(check (option span)) "inter" (Some (Span.v 5 10)) (Span.inter a b);
+  Alcotest.(check (option span)) "disjoint inter" None
+    (Span.inter a (Span.v 30 40));
+  Alcotest.check span "hull" (Span.v 0 20) (Span.hull a c)
+
+(* --- Span_set ---------------------------------------------------------- *)
+
+let set spans = Span_set.of_spans spans
+
+let test_set_coalescing () =
+  let s = set [ Span.v 0 10; Span.v 5 15; Span.v 15 20; Span.v 30 40 ] in
+  Alcotest.(check int) "coalesced cardinal" 2 (Span_set.cardinal s);
+  Alcotest.(check int) "size" 30 (Span_set.size s);
+  Alcotest.check span_set "order independent" s
+    (set [ Span.v 30 40; Span.v 15 20; Span.v 5 15; Span.v 0 10 ])
+
+let test_set_queries () =
+  let s = set [ Span.v 0 10; Span.v 20 30 ] in
+  Alcotest.(check bool) "mem inside" true (Span_set.mem 5 s);
+  Alcotest.(check bool) "mem in gap" false (Span_set.mem 15 s);
+  Alcotest.(check bool) "mem at stop" false (Span_set.mem 10 s);
+  Alcotest.(check (option span)) "span_at" (Some (Span.v 20 30))
+    (Span_set.span_at 25 s);
+  Alcotest.(check (option span)) "hull" (Some (Span.v 0 30)) (Span_set.hull s)
+
+let test_set_algebra () =
+  let a = set [ Span.v 0 10; Span.v 20 30 ] in
+  let b = set [ Span.v 5 25 ] in
+  Alcotest.check span_set "union" (set [ Span.v 0 30 ]) (Span_set.union a b);
+  Alcotest.check span_set "inter"
+    (set [ Span.v 5 10; Span.v 20 25 ])
+    (Span_set.inter a b);
+  Alcotest.check span_set "diff"
+    (set [ Span.v 0 5; Span.v 25 30 ])
+    (Span_set.diff a b);
+  Alcotest.check span_set "complement"
+    (set [ Span.v 10 20 ])
+    (Span_set.complement ~within:(Span.v 0 30) a)
+
+let test_set_clip_filter () =
+  let s = set [ Span.v 0 10; Span.v 20 30; Span.v 40 41 ] in
+  Alcotest.check span_set "clip"
+    (set [ Span.v 5 10; Span.v 20 25 ])
+    (Span_set.clip (Span.v 5 25) s);
+  Alcotest.check span_set "longer_than"
+    (set [ Span.v 0 10; Span.v 20 30 ])
+    (Span_set.longer_than 5 s)
+
+(* Property tests: the algebra laws factor attribution depends on. *)
+
+let gen_span_list =
+  QCheck.Gen.(
+    list_size (int_bound 30)
+      (map2
+         (fun start len -> Span.v start (start + 1 + len))
+         (int_bound 1000) (int_bound 50)))
+
+let arb_set =
+  QCheck.make
+    ~print:(fun s -> Format.asprintf "%a" Span_set.pp s)
+    QCheck.Gen.(map Span_set.of_spans gen_span_list)
+
+let prop name arb f = QCheck_alcotest.to_alcotest (QCheck.Test.make ~name ~count:300 arb f)
+
+let qcheck_suite =
+  [
+    prop "union size >= max input size" (QCheck.pair arb_set arb_set)
+      (fun (a, b) ->
+        Span_set.size (Span_set.union a b)
+        >= max (Span_set.size a) (Span_set.size b));
+    prop "inter size <= min input size" (QCheck.pair arb_set arb_set)
+      (fun (a, b) ->
+        Span_set.size (Span_set.inter a b)
+        <= min (Span_set.size a) (Span_set.size b));
+    prop "inclusion-exclusion" (QCheck.pair arb_set arb_set) (fun (a, b) ->
+        Span_set.size (Span_set.union a b) + Span_set.size (Span_set.inter a b)
+        = Span_set.size a + Span_set.size b);
+    prop "diff disjoint from subtrahend" (QCheck.pair arb_set arb_set)
+      (fun (a, b) -> Span_set.is_empty (Span_set.inter (Span_set.diff a b) b));
+    prop "diff + inter partitions a" (QCheck.pair arb_set arb_set)
+      (fun (a, b) ->
+        Span_set.size (Span_set.diff a b) + Span_set.size (Span_set.inter a b)
+        = Span_set.size a);
+    prop "complement complements" arb_set (fun a ->
+        let within = Span.v (-10) 1200 in
+        let c = Span_set.complement ~within a in
+        Span_set.size c + Span_set.size (Span_set.clip within a)
+        = Span.length within);
+    prop "union idempotent" arb_set (fun a ->
+        Span_set.equal a (Span_set.union a a));
+    prop "canonical: no touching spans" arb_set (fun a ->
+        let rec ok = function
+          | x :: (y :: _ as rest) -> (not (Span.touches x y)) && ok rest
+          | _ -> true
+        in
+        ok (Span_set.to_list a));
+    prop "mem agrees with to_list" (QCheck.pair arb_set QCheck.small_nat)
+      (fun (a, t) ->
+        Span_set.mem t a
+        = List.exists (fun sp -> Span.contains sp t) (Span_set.to_list a));
+  ]
+
+(* --- Series ------------------------------------------------------------ *)
+
+let test_series_basics () =
+  let s =
+    Series.of_list [ (Span.v 10 20, "b"); (Span.v 0 5, "a"); (Span.v 15 30, "c") ]
+  in
+  Alcotest.(check int) "cardinal" 3 (Series.cardinal s);
+  Alcotest.(check int) "size collapses overlap" 25 (Series.size s);
+  Alcotest.(check (list string)) "sorted payloads" [ "a"; "b"; "c" ]
+    (List.map snd (Series.to_list s));
+  Alcotest.(check int) "durations" 3 (List.length (Series.durations s))
+
+let test_series_clip_and_query () =
+  let s = Series.of_list [ (Span.v 0 10, 1); (Span.v 20 30, 2) ] in
+  let clipped = Series.clip (Span.v 5 25) s in
+  Alcotest.(check int) "clip keeps overlapping" 2 (Series.cardinal clipped);
+  Alcotest.(check int) "clip trims" 10 (Series.size clipped);
+  Alcotest.(check int) "events_in" 1
+    (List.length (Series.events_in (Span.v 0 4) s))
+
+let test_series_builder () =
+  let b = Series.builder () in
+  Series.add b (Span.v 10 20) "x";
+  Series.add b (Span.v 0 5) "y";
+  let s = Series.build b in
+  Alcotest.(check (list string)) "builder sorts" [ "y"; "x" ]
+    (List.map snd (Series.to_list s))
+
+let test_time_units () =
+  Alcotest.(check int) "of_ms" 1_500 (Time_us.of_ms 1.5);
+  Alcotest.(check int) "of_s" 2_000_000 (Time_us.of_s 2.0);
+  Alcotest.(check (float 1e-9)) "to_s roundtrip" 0.25
+    (Time_us.to_s (Time_us.of_s 0.25))
+
+let suite =
+  [
+    Alcotest.test_case "span basics" `Quick test_span_basics;
+    Alcotest.test_case "span relations" `Quick test_span_relations;
+    Alcotest.test_case "set coalescing" `Quick test_set_coalescing;
+    Alcotest.test_case "set queries" `Quick test_set_queries;
+    Alcotest.test_case "set algebra" `Quick test_set_algebra;
+    Alcotest.test_case "set clip/filter" `Quick test_set_clip_filter;
+    Alcotest.test_case "series basics" `Quick test_series_basics;
+    Alcotest.test_case "series clip" `Quick test_series_clip_and_query;
+    Alcotest.test_case "series builder" `Quick test_series_builder;
+    Alcotest.test_case "time units" `Quick test_time_units;
+  ]
+  @ qcheck_suite
+
+(* Additional laws used implicitly throughout the analyzer. *)
+let qcheck_suite2 =
+  [
+    prop "clip is monotone in the window" (QCheck.pair arb_set QCheck.small_nat)
+      (fun (a, w) ->
+        let small = Span.v 0 (100 + w) in
+        let large = Span.v 0 (1200 + w) in
+        Span_set.size (Span_set.clip small a)
+        <= Span_set.size (Span_set.clip large a));
+    prop "clip bounded by window length" arb_set (fun a ->
+        let w = Span.v 100 600 in
+        Span_set.size (Span_set.clip w a) <= Span.length w);
+    prop "longer_than only removes" (QCheck.pair arb_set QCheck.small_nat)
+      (fun (a, d) ->
+        Span_set.size (Span_set.longer_than d a) <= Span_set.size a);
+    prop "union associative" (QCheck.triple arb_set arb_set arb_set)
+      (fun (a, b, c) ->
+        Span_set.equal
+          (Span_set.union a (Span_set.union b c))
+          (Span_set.union (Span_set.union a b) c));
+    prop "inter distributes over union" (QCheck.triple arb_set arb_set arb_set)
+      (fun (a, b, c) ->
+        Span_set.equal
+          (Span_set.inter a (Span_set.union b c))
+          (Span_set.union (Span_set.inter a b) (Span_set.inter a c)));
+    prop "series merge size sub-additive"
+      (QCheck.pair (QCheck.make gen_span_list) (QCheck.make gen_span_list))
+      (fun (xs, ys) ->
+        let s1 = Series.of_list (List.map (fun sp -> (sp, ())) xs) in
+        let s2 = Series.of_list (List.map (fun sp -> (sp, ())) ys) in
+        let m = Series.merge s1 s2 in
+        Series.size m <= Series.size s1 + Series.size s2
+        && Series.cardinal m = Series.cardinal s1 + Series.cardinal s2);
+  ]
+
+let suite = suite @ qcheck_suite2
