@@ -650,14 +650,17 @@ let fig16 () =
   let ts = List.concat_map (fun r -> r.C.transfers) (C.all ()) in
   let classes =
     [
-      ("TCP recv window", fun f -> f = Factors.Tcp_adv_window);
-      ("TCP cong. window", fun f -> f = Factors.Tcp_cwnd);
+      ("TCP recv window", Factors.equal_factor Factors.Tcp_adv_window);
+      ("TCP cong. window", Factors.equal_factor Factors.Tcp_cwnd);
       ( "packet loss",
         fun f ->
-          f = Factors.Recv_local_loss || f = Factors.Network_loss
-          || f = Factors.Send_local_loss );
+          Factors.equal_factor f Factors.Recv_local_loss
+          || Factors.equal_factor f Factors.Network_loss
+          || Factors.equal_factor f Factors.Send_local_loss );
       ( "BGP app",
-        fun f -> f = Factors.Bgp_sender_app || f = Factors.Bgp_receiver_app );
+        fun f ->
+          Factors.equal_factor f Factors.Bgp_sender_app
+          || Factors.equal_factor f Factors.Bgp_receiver_app );
     ]
   in
   let series =
@@ -738,7 +741,8 @@ let fig17 () =
         run.C.transfers;
       let entries =
         Hashtbl.fold (fun v n acc -> (v, n) :: acc) tally []
-        |> List.sort compare
+        |> List.sort (fun (va, na) (vb, nb) ->
+               match Int.compare va vb with 0 -> Int.compare na nb | c -> c)
       in
       Printf.printf "  %-18s %s\n"
         (Fleet.name run.C.dataset)

@@ -34,7 +34,8 @@ let convert pcap_path out_path peer_as local_as =
         connections
     in
     let records =
-      List.sort (fun a b -> compare a.Tdat_bgp.Mrt.ts b.Tdat_bgp.Mrt.ts)
+      List.sort (fun a b ->
+          Tdat_timerange.Time_us.compare a.Tdat_bgp.Mrt.ts b.Tdat_bgp.Mrt.ts)
         records
     in
     Tdat_bgp.Mrt.to_file out_path records;

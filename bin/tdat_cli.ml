@@ -1,9 +1,10 @@
 (* The T-DAT command line: analyze the BGP sessions in a pcap file and
-   explain where each table transfer's time went. *)
+   explain where each table transfer's time went, or audit the pipeline's
+   own invariants over a trace (`tdat check`). *)
 
 open Cmdliner
 
-let analyze_file pcap_path mrt_path show_series sender_side =
+let load pcap_path mrt_path sender_side =
   let trace = Tdat_pkt.Pcap.of_file pcap_path in
   let mrt = Option.map Tdat_bgp.Mrt.of_file mrt_path in
   let config =
@@ -11,9 +12,23 @@ let analyze_file pcap_path mrt_path show_series sender_side =
       { Tdat.Series_gen.default_config with sniffer_location = `Near_sender }
     else Tdat.Series_gen.default_config
   in
-  let results =
-    Tdat.Analyzer.analyze_all ~config ?mrt trace
-  in
+  (trace, mrt, config)
+
+(* Malformed input is a user error (exit 2), not an internal error. *)
+let with_decode_errors f =
+  match f () with
+  | status -> status
+  | exception Tdat_pkt.Pcap.Decode_error msg ->
+      Printf.eprintf "tdat: %s\n" msg;
+      2
+  | exception Tdat_bgp.Bgp_error.Decode_error { context; message } ->
+      Printf.eprintf "tdat: %s: %s\n" context message;
+      2
+
+let analyze_file pcap_path mrt_path show_series sender_side =
+  with_decode_errors @@ fun () ->
+  let trace, mrt, config = load pcap_path mrt_path sender_side in
+  let results = Tdat.Analyzer.analyze_all ~config ?mrt trace in
   if results = [] then prerr_endline "no TCP connections found in trace";
   List.iter
     (fun (_, a) ->
@@ -25,6 +40,25 @@ let analyze_file pcap_path mrt_path show_series sender_side =
       print_newline ())
     results;
   0
+
+let check_file pcap_path mrt_path sender_side =
+  with_decode_errors @@ fun () ->
+  let trace, mrt, config = load pcap_path mrt_path sender_side in
+  let results = Tdat.Analyzer.analyze_all ~config ?mrt ~audit:true trace in
+  if results = [] then prerr_endline "no TCP connections found in trace";
+  let failed =
+    List.fold_left
+      (fun failed (flow, a) ->
+        let diags = a.Tdat.Analyzer.audit in
+        Format.printf "%a: %s@." Tdat_pkt.Flow.pp flow
+          (if diags = [] then "ok"
+           else
+             Printf.sprintf "%d finding(s)" (List.length diags));
+        if diags <> [] then Format.printf "%a@." Tdat_audit.Diag.pp_report diags;
+        failed || Tdat_audit.Diag.errors diags <> [])
+      false results
+  in
+  if failed then 1 else 0
 
 let pcap_arg =
   let doc = "Packet trace to analyze (libpcap format, Ethernet/IPv4/TCP)." in
@@ -49,8 +83,11 @@ let sender_side_arg =
   in
   Arg.(value & flag & info [ "sender-side" ] ~doc)
 
-let cmd =
-  let doc = "TCP delay analysis for BGP table transfers (T-DAT)" in
+let analyze_term =
+  Term.(const analyze_file $ pcap_arg $ mrt_arg $ series_arg $ sender_side_arg)
+
+let analyze_cmd =
+  let doc = "Explain where each table transfer's time went (default)" in
   let man =
     [
       `S Manpage.s_description;
@@ -64,9 +101,47 @@ let cmd =
          reported when detected.";
     ]
   in
-  Cmd.v
-    (Cmd.info "tdat" ~version:"1.0.0" ~doc ~man)
-    Term.(const analyze_file $ pcap_arg $ mrt_arg $ series_arg
-          $ sender_side_arg)
+  Cmd.v (Cmd.info "analyze" ~doc ~man) analyze_term
 
-let () = exit (Cmd.eval' cmd)
+let check_cmd =
+  let doc = "Audit the pipeline's invariants over a trace" in
+  let man =
+    [
+      `S Manpage.s_description;
+      `P
+        "Runs the full analysis with the Tdat_audit validators enabled \
+         and reports every invariant violation: non-canonical span sets \
+         (A001), non-monotone traces (A002), seq/ack insanity (A003), \
+         ACK-shift conservation failures (A004) and out-of-range factor \
+         accounting (A005).  Exits non-zero when any error-severity \
+         finding is produced.  See DESIGN.md, \"Static analysis & \
+         auditing\".";
+    ]
+  in
+  Cmd.v
+    (Cmd.info "check" ~doc ~man)
+    Term.(const check_file $ pcap_arg $ mrt_arg $ sender_side_arg)
+
+let cmd =
+  let doc = "TCP delay analysis for BGP table transfers (T-DAT)" in
+  Cmd.group
+    (Cmd.info "tdat" ~version:"1.0.0" ~doc)
+    ~default:analyze_term
+    [ analyze_cmd; check_cmd ]
+
+(* Backward compatibility: `tdat TRACE.pcap ...` (the pre-subcommand
+   spelling, still what README documents first) means `tdat analyze
+   TRACE.pcap ...`. *)
+let argv =
+  let argv = Sys.argv in
+  if
+    Array.length argv > 1
+    && (not (String.equal argv.(1) "analyze"))
+    && (not (String.equal argv.(1) "check"))
+    && String.length argv.(1) > 0
+    && argv.(1).[0] <> '-'
+  then
+    Array.append [| argv.(0); "analyze" |] (Array.sub argv 1 (Array.length argv - 1))
+  else argv
+
+let () = exit (Cmd.eval' ~argv cmd)

@@ -1,0 +1,326 @@
+(* tdat-lint: repo-specific static analysis for the T-DAT code base.
+
+   Parses every [.ml] under the given files/directories with compiler-libs
+   and reports typed diagnostics for anti-patterns that have historically
+   corrupted event-series bookkeeping (see DESIGN.md, "Static analysis &
+   auditing"):
+
+     L001  polymorphic [compare] (bare or [Stdlib.compare]) — order must
+           come from the value's own module ([Int.compare],
+           [Time_us.compare], [Span.compare], ...);
+     L002  polymorphic [=] / [<>] where an operand is an abstract
+           timestamp/ID/flow value (a constant or constructor qualified
+           with a fenced module such as [Time_us] or [Factors]) — use the
+           module's [equal];
+     L003  [=] / [<>] against a float literal — float equality is almost
+           never what a delay-ratio computation wants; compare with a
+           tolerance or [Float.equal] deliberately;
+     L004  a catch-all [_] branch in a [match] over the 8-factor delay
+           taxonomy ([Factors.factor] / [Factors.group]) — the taxonomy
+           must stay exhaustive so a new factor cannot be silently
+           mis-attributed;
+     L005  bare [failwith] in library code ([lib/]) — raise a typed
+           exception ([Bgp_error.Decode_error], [Invalid_argument], ...)
+           so callers can match on it.
+
+   The lint is purely syntactic (untyped parsetree): it fences on literal
+   module names, so a module alias can evade L002 — the audit layer
+   ([Tdat_audit]) backstops what escapes here at run time.  Exit status is
+   the number of files with findings capped at 1, i.e. non-zero iff any
+   diagnostic was produced. *)
+
+let fenced_modules =
+  [
+    "Time_us"; "Span"; "Span_set"; "Series"; "Transfer_id"; "Flow";
+    "Endpoint"; "Prefix"; "As_path"; "Attr"; "Factors"; "Series_defs";
+  ]
+
+(* Factor-taxonomy constructors counted as evidence that a [match] scrutinizes
+   [Factors.factor].  The three [*_local_loss] / [Network_loss] names are
+   shared with [Series_defs.t], where a catch-all over the 34 series is
+   legitimate, so only the unambiguous five count when unqualified; any
+   constructor qualified with [Factors] counts. *)
+let factor_constructors_unambiguous =
+  [ "Bgp_sender_app"; "Tcp_cwnd"; "Bgp_receiver_app"; "Tcp_adv_window";
+    "Bandwidth" ]
+
+type finding = {
+  file : string;
+  line : int;
+  col : int;
+  code : string;
+  message : string;
+}
+
+let findings : finding list ref = ref []
+
+let report ~loc ~code message =
+  let p = loc.Location.loc_start in
+  findings :=
+    {
+      file = p.Lexing.pos_fname;
+      line = p.Lexing.pos_lnum;
+      col = p.Lexing.pos_cnum - p.Lexing.pos_bol;
+      code;
+      message;
+    }
+    :: !findings
+
+(* --- Longident helpers ---------------------------------------------------- *)
+
+let rec last_module = function
+  | Longident.Lident _ -> None
+  | Longident.Ldot (Longident.Lident m, _) -> Some m
+  | Longident.Ldot (p, _) -> (
+      match p with
+      | Longident.Ldot (_, m) -> Some m
+      | _ -> last_module p)
+  | Longident.Lapply (_, p) -> last_module p
+
+let qualified_with_fenced lid =
+  match last_module lid with
+  | Some m -> List.mem m fenced_modules
+  | None -> false
+
+let ident_name = function
+  | Longident.Lident n | Longident.Ldot (_, n) -> Some n
+  | Longident.Lapply _ -> None
+
+(* --- Rule L001: polymorphic compare -------------------------------------- *)
+
+let is_poly_compare local_compare lid =
+  match lid with
+  | Longident.Lident "compare" -> not local_compare
+  | Longident.Ldot (Longident.Lident "Stdlib", "compare") -> true
+  | _ -> false
+
+(* --- Rule L002: polymorphic equality on fenced abstract values ------------ *)
+
+(* An operand counts as "abstract" when it is, or directly wraps, a value or
+   constructor qualified with a fenced module: [Time_us.zero],
+   [Factors.Tcp_cwnd], [Some Factors.Sender]. *)
+let rec fenced_operand (e : Parsetree.expression) =
+  match e.pexp_desc with
+  | Pexp_ident { txt; _ } -> qualified_with_fenced txt
+  | Pexp_construct ({ txt; _ }, arg) ->
+      qualified_with_fenced txt
+      || (match arg with Some a -> fenced_operand a | None -> false)
+  | _ -> false
+
+let rec fenced_operand_name (e : Parsetree.expression) =
+  match e.pexp_desc with
+  | Pexp_ident { txt; _ } when qualified_with_fenced txt ->
+      Option.value (last_module txt) ~default:"the module"
+  | Pexp_construct ({ txt; _ }, arg) -> (
+      if qualified_with_fenced txt then
+        Option.value (last_module txt) ~default:"the module"
+      else
+        match arg with
+        | Some a -> fenced_operand_name a
+        | None -> "the module")
+  | _ -> "the module"
+
+(* --- Rule L003: float-literal equality ------------------------------------ *)
+
+let is_float_literal (e : Parsetree.expression) =
+  match e.pexp_desc with
+  | Pexp_constant (Pconst_float _) -> true
+  | _ -> false
+
+(* --- Rule L004: catch-all over the factor taxonomy ------------------------ *)
+
+let rec pattern_constructors (p : Parsetree.pattern) acc =
+  match p.ppat_desc with
+  | Ppat_construct ({ txt; _ }, arg) ->
+      let acc =
+        match ident_name txt with
+        | Some n ->
+            let qualified_factors =
+              match last_module txt with Some "Factors" -> true | _ -> false
+            in
+            if qualified_factors || List.mem n factor_constructors_unambiguous
+            then n :: acc
+            else acc
+        | None -> acc
+      in
+      (match arg with Some (_, a) -> pattern_constructors a acc | None -> acc)
+  | Ppat_or (a, b) -> pattern_constructors a (pattern_constructors b acc)
+  | Ppat_alias (a, _) -> pattern_constructors a acc
+  | Ppat_tuple ps -> List.fold_left (fun acc p -> pattern_constructors p acc) acc ps
+  | Ppat_constraint (a, _) -> pattern_constructors a acc
+  | _ -> acc
+
+let rec is_catch_all (p : Parsetree.pattern) =
+  match p.ppat_desc with
+  | Ppat_any | Ppat_var _ -> true
+  | Ppat_alias (a, _) | Ppat_constraint (a, _) -> is_catch_all a
+  | _ -> false
+
+let check_factor_match cases =
+  let evidence =
+    List.concat_map
+      (fun (c : Parsetree.case) -> pattern_constructors c.pc_lhs [])
+      cases
+  in
+  if evidence <> [] then
+    List.iter
+      (fun (c : Parsetree.case) ->
+        if is_catch_all c.pc_lhs then
+          report ~loc:c.pc_lhs.ppat_loc ~code:"L004"
+            (Printf.sprintf
+               "catch-all branch in a match over the delay-factor taxonomy \
+                (saw %s); enumerate every Factors constructor so new \
+                factors cannot be silently mis-attributed"
+               (String.concat ", " (List.sort_uniq String.compare evidence))))
+      cases
+
+(* --- File scan ------------------------------------------------------------ *)
+
+let toplevel_value_names (str : Parsetree.structure) =
+  let names = ref [] in
+  let rec pat_names (p : Parsetree.pattern) =
+    match p.ppat_desc with
+    | Ppat_var { txt; _ } -> names := txt :: !names
+    | Ppat_alias (a, { txt; _ }) ->
+        names := txt :: !names;
+        pat_names a
+    | Ppat_tuple ps -> List.iter pat_names ps
+    | Ppat_constraint (a, _) -> pat_names a
+    | _ -> ()
+  in
+  List.iter
+    (fun (item : Parsetree.structure_item) ->
+      match item.pstr_desc with
+      | Pstr_value (_, vbs) ->
+          List.iter (fun (vb : Parsetree.value_binding) -> pat_names vb.pvb_pat) vbs
+      | _ -> ())
+    str;
+  !names
+
+let check_structure ~in_lib str =
+  let local_compare = List.mem "compare" (toplevel_value_names str) in
+  let super = Ast_iterator.default_iterator in
+  let expr iter (e : Parsetree.expression) =
+    (match e.pexp_desc with
+    | Pexp_ident { txt; loc } when is_poly_compare local_compare txt ->
+        report ~loc ~code:"L001"
+          "polymorphic compare; use the value's own ordering \
+           (Int.compare, Time_us.compare, Span.compare, ...)"
+    | Pexp_ident { txt = Longident.Lident "failwith"; loc } when in_lib ->
+        report ~loc ~code:"L005"
+          "bare failwith in library code; raise a typed exception \
+           (e.g. Bgp_error.Decode_error) so callers can match on it"
+    | Pexp_ident
+        { txt = Longident.Ldot (Longident.Lident "Stdlib", "failwith"); loc }
+      when in_lib ->
+        report ~loc ~code:"L005"
+          "bare failwith in library code; raise a typed exception \
+           (e.g. Bgp_error.Decode_error) so callers can match on it"
+    | Pexp_apply
+        ( { pexp_desc = Pexp_ident { txt = Longident.Lident (("=" | "<>") as op); _ };
+            pexp_loc = oploc;
+            _ },
+          [ (_, lhs); (_, rhs) ] ) ->
+        if is_float_literal lhs || is_float_literal rhs then
+          report ~loc:oploc ~code:"L003"
+            (Printf.sprintf
+               "float (%s) against a literal; compare with a tolerance or \
+                use Float.equal deliberately"
+               op)
+        else if fenced_operand lhs || fenced_operand rhs then
+          let m =
+            if fenced_operand lhs then fenced_operand_name lhs
+            else fenced_operand_name rhs
+          in
+          report ~loc:oploc ~code:"L002"
+            (Printf.sprintf
+               "polymorphic (%s) on an abstract %s value; use %s.equal (or \
+                a dedicated equal_* function)"
+               op m m)
+    | Pexp_match (_, cases) -> check_factor_match cases
+    | Pexp_function cases -> check_factor_match cases
+    | _ -> ());
+    super.expr iter e
+  in
+  let iter = { super with expr } in
+  iter.structure iter str
+
+let parse_file path =
+  let ic = open_in_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_in_noerr ic)
+    (fun () ->
+      let lexbuf = Lexing.from_channel ic in
+      Lexing.set_filename lexbuf path;
+      Parse.implementation lexbuf)
+
+let lint_file ~treat_as_lib path =
+  let in_lib =
+    treat_as_lib
+    || String.length path >= 4
+       && (String.sub path 0 4 = "lib/" || String.length path > 5
+           && String.sub path 0 5 = "./lib")
+  in
+  match parse_file path with
+  | str -> check_structure ~in_lib str
+  | exception exn ->
+      let message =
+        match exn with
+        | Syntaxerr.Error _ -> "syntax error: file does not parse"
+        | e -> Printexc.to_string e
+      in
+      findings :=
+        { file = path; line = 1; col = 0; code = "L000"; message } :: !findings
+
+(* --- Directory walk ------------------------------------------------------- *)
+
+let rec ml_files_under path acc =
+  if Sys.is_directory path then
+    Sys.readdir path |> Array.to_list |> List.sort String.compare
+    |> List.fold_left
+         (fun acc entry ->
+           if entry = "_build" || (entry <> "" && entry.[0] = '.') then acc
+           else ml_files_under (Filename.concat path entry) acc)
+         acc
+  else if Filename.check_suffix path ".ml" then path :: acc
+  else acc
+
+let () =
+  let treat_as_lib = ref false in
+  let roots = ref [] in
+  let spec =
+    [
+      ( "--treat-as-lib",
+        Arg.Set treat_as_lib,
+        " apply library-only rules (L005) to every given file" );
+    ]
+  in
+  let usage = "tdat_lint [--treat-as-lib] FILE_OR_DIR..." in
+  Arg.parse spec (fun p -> roots := p :: !roots) usage;
+  let roots = if !roots = [] then [ "lib"; "bin"; "bench"; "examples" ] else List.rev !roots in
+  let files =
+    List.concat_map
+      (fun r -> if Sys.file_exists r then List.rev (ml_files_under r []) else [])
+      roots
+  in
+  List.iter (lint_file ~treat_as_lib:!treat_as_lib) files;
+  let all =
+    List.sort
+      (fun a b ->
+        match String.compare a.file b.file with
+        | 0 -> Int.compare a.line b.line
+        | c -> c)
+      !findings
+  in
+  List.iter
+    (fun f ->
+      Printf.printf "%s:%d:%d: [%s] %s\n" f.file f.line f.col f.code f.message)
+    all;
+  if all = [] then (
+    Printf.eprintf "tdat-lint: %d files clean\n%!" (List.length files);
+    exit 0)
+  else (
+    Printf.eprintf "tdat-lint: %d finding(s) in %d file(s)\n%!"
+      (List.length all)
+      (List.length (List.sort_uniq String.compare (List.map (fun f -> f.file) all)));
+    exit 1)

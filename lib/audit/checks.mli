@@ -1,0 +1,62 @@
+(** Runtime invariant validators for the T-DAT pipeline.
+
+    Each validator re-derives an invariant the event-series algebra
+    assumes and returns structured {!Diag.t} findings (empty list = the
+    invariant holds).  The codes:
+
+    - [A001] — span-set canonicality: spans sorted by start, pairwise
+      disjoint and non-adjacent (Section III-A's "ordered set of time
+      durations" is only well-defined on the canonical form);
+    - [A002] — trace timestamp monotonicity: segments in non-decreasing
+      time order;
+    - [A003] — seq/ack sanity: no negative sequence/ack/length/window
+      fields, and the cumulative acknowledgment never regresses within
+      one direction;
+    - [A004] — ACK-shift conservation: shifting re-times segments but
+      must not create, drop, or mutate them, and may only move them
+      forward;
+    - [A005] — factor accounting: every delay ratio lies in [0, 1] and
+      every series size is bounded by the analysis period.
+
+    [Analyzer.analyze ~audit:true] runs all of them over a full analysis;
+    [tdat_cli check] exposes them on the command line. *)
+
+val canonical_spans :
+  ?subject:string -> Tdat_timerange.Span.t list -> Diag.t list
+(** [A001] on a raw span list (what {!Tdat_timerange.Span_set.to_list}
+    of a well-formed set must look like). *)
+
+val canonical_set :
+  ?subject:string -> Tdat_timerange.Span_set.t -> Diag.t list
+(** [A001] on a built set: validates the exported list form. *)
+
+val monotone_segments :
+  ?subject:string -> Tdat_pkt.Tcp_segment.t list -> Diag.t list
+(** [A002]: timestamps non-decreasing. *)
+
+val seq_ack_sane :
+  ?subject:string -> Tdat_pkt.Tcp_segment.t list -> Diag.t list
+(** [A003]: field sanity on every segment, plus per-direction cumulative
+    ACK monotonicity (a regression is a {!Diag.Warning} — packet
+    reordering at the sniffer can legitimately produce one). *)
+
+val ack_shift_conserved :
+  ?subject:string ->
+  before:Tdat_pkt.Tcp_segment.t array ->
+  after:Tdat_pkt.Tcp_segment.t array ->
+  unit ->
+  Diag.t list
+(** [A004]: [after] must contain exactly the segments of [before] (same
+    src/dst/seq/ack/len/window/flags multiset) with every timestamp
+    moved forward or kept — no segment gained, lost, or rewritten. *)
+
+val ratios_in_range : ?subject:string -> (string * float) list -> Diag.t list
+(** [A005] on named delay ratios: finite and within [0, 1]. *)
+
+val sizes_bounded :
+  ?subject:string ->
+  period:Tdat_timerange.Time_us.t ->
+  (string * Tdat_timerange.Time_us.t) list ->
+  Diag.t list
+(** [A005] on named series sizes: non-negative and at most the analysis
+    period. *)

@@ -20,24 +20,32 @@ let decode s =
   let read_u16 off = (Char.code s.[off] lsl 8) lor Char.code s.[off + 1] in
   let rec segments off acc =
     if off = len then List.rev acc
-    else if off + 2 > len then failwith "As_path.decode: truncated header"
+    else if off + 2 > len then
+      Bgp_error.fail ~context:"As_path.decode" "truncated header"
     else begin
       let ty = Char.code s.[off] in
       let n = Char.code s.[off + 1] in
-      if off + 2 + (2 * n) > len then failwith "As_path.decode: truncated";
+      if off + 2 + (2 * n) > len then
+        Bgp_error.fail ~context:"As_path.decode" "truncated";
       let asns = List.init n (fun i -> read_u16 (off + 2 + (2 * i))) in
       let seg =
         match ty with
         | 1 -> Set asns
         | 2 -> Seq asns
-        | ty -> failwith (Printf.sprintf "As_path.decode: segment type %d" ty)
+        | ty -> Bgp_error.fail ~context:"As_path.decode" "segment type %d" ty
       in
       segments (off + 2 + (2 * n)) (seg :: acc)
     end
   in
   segments 0 []
 
-let compare = Stdlib.compare
+let compare_segment a b =
+  match (a, b) with
+  | Seq x, Seq y | Set x, Set y -> List.compare Int.compare x y
+  | Seq _, Set _ -> -1
+  | Set _, Seq _ -> 1
+
+let compare = List.compare compare_segment
 let equal a b = compare a b = 0
 
 let pp_segment ppf = function

@@ -62,19 +62,22 @@ let decode_all s =
   in
   let rec go off acc =
     if off = len then List.rev acc
-    else if off + 3 > len then failwith "Attr.decode_all: truncated header"
+    else if off + 3 > len then
+      Bgp_error.fail ~context:"Attr.decode_all" "truncated header"
     else begin
       let flags = Char.code s.[off] in
       let code = Char.code s.[off + 1] in
       let extended = flags land flag_extended <> 0 in
       let vlen, voff =
         if extended then begin
-          if off + 4 > len then failwith "Attr.decode_all: truncated length";
+          if off + 4 > len then
+            Bgp_error.fail ~context:"Attr.decode_all" "truncated length";
           (read_u16 (off + 2), off + 4)
         end
         else (Char.code s.[off + 2], off + 3)
       in
-      if voff + vlen > len then failwith "Attr.decode_all: truncated value";
+      if voff + vlen > len then
+        Bgp_error.fail ~context:"Attr.decode_all" "truncated value";
       let value = String.sub s voff vlen in
       let attr =
         match code with

@@ -47,19 +47,22 @@ let decode s =
   let i32 off = Int32.of_int (u32 off) in
   let rec go off acc =
     if off = len then List.rev acc
-    else if off + 12 > len then failwith "Mrt.decode: truncated header"
+    else if off + 12 > len then
+      Bgp_error.fail ~context:"Mrt.decode" "truncated header"
     else begin
       let sec = u32 off in
       let ty = u16 (off + 4) in
       let subtype = u16 (off + 6) in
       let rec_len = u32 (off + 8) in
       let body = off + 12 in
-      if body + rec_len > len then failwith "Mrt.decode: truncated record";
+      if body + rec_len > len then
+        Bgp_error.fail ~context:"Mrt.decode" "truncated record";
       let next = body + rec_len in
       let acc =
         if (ty = bgp4mp || ty = bgp4mp_et) && subtype = subtype_message then begin
           let usec, p = if ty = bgp4mp_et then (u32 body, body + 4) else (0, body) in
-          if p + 16 > next then failwith "Mrt.decode: short BGP4MP body";
+          if p + 16 > next then
+            Bgp_error.fail ~context:"Mrt.decode" "short BGP4MP body";
           let peer_as = u16 p in
           let local_as = u16 (p + 2) in
           let peer_ip = i32 (p + 8) in
@@ -76,7 +79,7 @@ let decode s =
                 msg;
               }
               :: acc
-          | _ -> failwith "Mrt.decode: bad embedded BGP message"
+          | _ -> Bgp_error.fail ~context:"Mrt.decode" "bad embedded BGP message"
         end
         else acc
       in

@@ -80,11 +80,12 @@ let peek_length s off =
   if off + header_size > String.length s then None
   else begin
     for i = 0 to 15 do
-      if s.[off + i] <> '\xff' then failwith "Msg.peek_length: bad marker"
+      if s.[off + i] <> '\xff' then
+        Bgp_error.fail ~context:"Msg.peek_length" "bad marker"
     done;
     let len = (Char.code s.[off + 16] lsl 8) lor Char.code s.[off + 17] in
     if len < header_size || len > max_size then
-      failwith (Printf.sprintf "Msg.peek_length: invalid length %d" len);
+      Bgp_error.fail ~context:"Msg.peek_length" "invalid length %d" len;
     Some len
   end
 
@@ -112,7 +113,7 @@ let decode s off =
         let msg =
           match ty with
           | 1 ->
-              if blen < 10 then failwith "Msg.decode: short OPEN";
+              if blen < 10 then Bgp_error.fail ~context:"Msg.decode" "short OPEN";
               let bgp_id =
                 Int32.logor
                   (Int32.shift_left (Int32.of_int (Char.code body.[5])) 24)
@@ -129,14 +130,14 @@ let decode s off =
                   bgp_id;
                 }
           | 2 ->
-              if blen < 4 then failwith "Msg.decode: short UPDATE";
+              if blen < 4 then Bgp_error.fail ~context:"Msg.decode" "short UPDATE";
               let wlen = read_u16 0 in
               if 2 + wlen + 2 > blen then
-                failwith "Msg.decode: bad withdrawn length";
+                Bgp_error.fail ~context:"Msg.decode" "bad withdrawn length";
               let withdrawn = decode_prefixes (String.sub body 2 wlen) in
               let alen = read_u16 (2 + wlen) in
               if 4 + wlen + alen > blen then
-                failwith "Msg.decode: bad attribute length";
+                Bgp_error.fail ~context:"Msg.decode" "bad attribute length";
               let attrs =
                 Attr.decode_all (String.sub body (4 + wlen) alen)
               in
@@ -147,7 +148,8 @@ let decode s off =
               in
               Update { withdrawn; attrs; nlri }
           | 3 ->
-              if blen < 2 then failwith "Msg.decode: short NOTIFICATION";
+              if blen < 2 then
+                Bgp_error.fail ~context:"Msg.decode" "short NOTIFICATION";
               Notification
                 {
                   code = Char.code body.[0];
@@ -155,9 +157,10 @@ let decode s off =
                   data = String.sub body 2 (blen - 2);
                 }
           | 4 ->
-              if blen <> 0 then failwith "Msg.decode: KEEPALIVE with body";
+              if blen <> 0 then
+                Bgp_error.fail ~context:"Msg.decode" "KEEPALIVE with body";
               Keepalive
-          | ty -> failwith (Printf.sprintf "Msg.decode: unknown type %d" ty)
+          | ty -> Bgp_error.fail ~context:"Msg.decode" "unknown type %d" ty
         in
         Some (msg, off + total)
       end

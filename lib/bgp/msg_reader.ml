@@ -15,7 +15,7 @@ let extract reasm =
       | Some (msg, off') ->
           let ts = Stream_reassembly.delivery_time reasm (off' - 1) in
           go off' ({ ts; offset = off; msg } :: acc)
-      | exception Failure _ ->
+      | exception Bgp_error.Decode_error _ ->
           (* Not (or no longer) a BGP stream: return what parsed cleanly
              rather than failing the whole connection — monitored links
              carry non-BGP TCP traffic too. *)
@@ -27,7 +27,7 @@ let extract_from_trace trace ~flow =
   let data_segments =
     Tdat_pkt.Trace.segments trace
     |> List.filter (fun seg ->
-           Tdat_pkt.Flow.direction_of flow seg = Some Tdat_pkt.Flow.To_receiver
+           Tdat_pkt.Flow.is_to_receiver flow seg
            && Tdat_pkt.Tcp_segment.is_data seg)
   in
   match data_segments with

@@ -33,12 +33,14 @@ let encode buf t =
   done
 
 let decode s off =
-  if off >= String.length s then failwith "Prefix.decode: truncated";
+  if off >= String.length s then
+    Bgp_error.fail ~context:"Prefix.decode" "truncated";
   let plen = Char.code s.[off] in
-  if plen > 32 then failwith "Prefix.decode: invalid prefix length";
+  if plen > 32 then
+    Bgp_error.fail ~context:"Prefix.decode" "invalid prefix length";
   let nbytes = (plen + 7) / 8 in
   if off + 1 + nbytes > String.length s then
-    failwith "Prefix.decode: truncated address";
+    Bgp_error.fail ~context:"Prefix.decode" "truncated address";
   let u = ref 0 in
   for i = 0 to nbytes - 1 do
     u := !u lor (Char.code s.[off + 1 + i] lsl (24 - (8 * i)))

@@ -13,10 +13,72 @@ type t = {
   series : Series_gen.t;
   factors : Factors.result;
   problems : problems;
+  audit : Tdat_audit.Diag.t list;
 }
 
-let analyze ?config ?major_threshold ?mct ?mrt ?(skip_shift = false) trace
-    ~flow =
+(* Re-derive the invariants the pipeline's algebra assumes (DESIGN.md,
+   "Static analysis & auditing"): canonical span sets for every series,
+   monotone and sane input segments, conservation across ACK shifting,
+   and in-range factor accounting. *)
+let run_audit ~profile ~shifted ~skip_shift ~series ~(factors : Factors.result)
+    () =
+  let open Tdat_audit in
+  let data_segs (p : Conn_profile.t) =
+    Array.to_list p.Conn_profile.data
+    |> List.map (fun d -> d.Conn_profile.seg)
+  in
+  let series_sets =
+    List.concat_map
+      (fun s ->
+        Checks.canonical_set
+          ~subject:(Series_defs.to_string s)
+          (Series_gen.spans series s))
+      Series_defs.all
+  in
+  let custom_sets =
+    List.concat_map
+      (fun name ->
+        match Series_gen.custom series name with
+        | Some set -> Checks.canonical_set ~subject:name set
+        | None -> [])
+      (Series_gen.custom_names series)
+  in
+  let input_checks =
+    Checks.canonical_set ~subject:"voids" profile.Conn_profile.voids
+    @ Checks.monotone_segments ~subject:"data" (data_segs profile)
+    @ Checks.monotone_segments ~subject:"acks"
+        (Array.to_list profile.Conn_profile.acks)
+    @ Checks.seq_ack_sane ~subject:"data" (data_segs profile)
+    @ Checks.seq_ack_sane ~subject:"acks"
+        (Array.to_list profile.Conn_profile.acks)
+  in
+  let shift_checks =
+    if skip_shift then []
+    else
+      Checks.ack_shift_conserved ~subject:"ack shift"
+        ~before:profile.Conn_profile.acks ~after:shifted.Conn_profile.acks ()
+      @ Checks.monotone_segments ~subject:"shifted acks"
+          (Array.to_list shifted.Conn_profile.acks)
+  in
+  let period = factors.Factors.analysis_period in
+  let accounting =
+    Checks.ratios_in_range ~subject:"factors"
+      (List.map
+         (fun (f, r) -> (Factors.factor_name f, r))
+         factors.Factors.ratios)
+    @ Checks.ratios_in_range ~subject:"groups"
+        (List.map
+           (fun (g, r) -> (Factors.group_name g, r))
+           factors.Factors.group_ratios)
+    @ Checks.sizes_bounded ~subject:"series" ~period
+        (List.map
+           (fun s -> (Series_defs.to_string s, Series_gen.size series s))
+           Series_defs.all)
+  in
+  input_checks @ shift_checks @ series_sets @ custom_sets @ accounting
+
+let analyze ?config ?major_threshold ?mct ?mrt ?(skip_shift = false)
+    ?(audit = false) trace ~flow =
   let profile = Conn_profile.of_trace trace ~flow in
   let shifted, shifts =
     if skip_shift then (profile, []) else Ack_shift.shift profile
@@ -33,9 +95,13 @@ let analyze ?config ?major_threshold ?mct ?mrt ?(skip_shift = false) trace
       zero_ack_bug = Detect_zero_ack.detect series;
     }
   in
-  { profile; shifted; shifts; transfer; series; factors; problems }
+  let audit =
+    if audit then run_audit ~profile ~shifted ~skip_shift ~series ~factors ()
+    else []
+  in
+  { profile; shifted; shifts; transfer; series; factors; problems; audit }
 
-let analyze_all ?config ?major_threshold ?mct ?mrt trace =
+let analyze_all ?config ?major_threshold ?mct ?mrt ?audit trace =
   Tdat_pkt.Trace.connections trace
   |> List.map (fun key ->
          let flow = Tdat_pkt.Trace.infer_sender trace key in
@@ -44,4 +110,4 @@ let analyze_all ?config ?major_threshold ?mct ?mrt trace =
              ~sender:flow.Tdat_pkt.Flow.sender
              ~receiver:flow.Tdat_pkt.Flow.receiver
          in
-         (flow, analyze ?config ?major_threshold ?mct ?mrt sub ~flow))
+         (flow, analyze ?config ?major_threshold ?mct ?mrt ?audit sub ~flow))

@@ -20,6 +20,9 @@ type t = {
   series : Series_gen.t;       (** Generated over the transfer window. *)
   factors : Factors.result;
   problems : problems;
+  audit : Tdat_audit.Diag.t list;
+      (** Invariant-audit findings; empty unless [analyze ~audit:true]
+          was requested (and empty then too on a healthy analysis). *)
 }
 
 val analyze :
@@ -28,19 +31,26 @@ val analyze :
   ?mct:Tdat_bgp.Mct.config ->
   ?mrt:Tdat_bgp.Mrt.record list ->
   ?skip_shift:bool ->
+  ?audit:bool ->
   Tdat_pkt.Trace.t ->
   flow:Tdat_pkt.Flow.t ->
   t
 (** [analyze trace ~flow] runs the pipeline.  The analysis window is the
     identified table transfer when one is found, else the whole
     connection.  [skip_shift] (default false) bypasses ACK shifting — the
-    right setting for sender-side traces, and a no-op there anyway. *)
+    right setting for sender-side traces, and a no-op there anyway.
+    [audit] (default false) additionally runs every {!Tdat_audit.Checks}
+    validator over the pipeline's intermediate state — span-set
+    canonicality, input monotonicity and seq/ack sanity, ACK-shift
+    conservation, factor accounting — and records the findings in the
+    [audit] field. *)
 
 val analyze_all :
   ?config:Series_gen.config ->
   ?major_threshold:float ->
   ?mct:Tdat_bgp.Mct.config ->
   ?mrt:Tdat_bgp.Mrt.record list ->
+  ?audit:bool ->
   Tdat_pkt.Trace.t ->
   (Tdat_pkt.Flow.t * t) list
 (** Extract every connection in the trace ({!Tdat_pkt.Trace.connections}),

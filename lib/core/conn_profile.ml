@@ -64,12 +64,11 @@ let of_trace ?(reorder_factor = 0.25) trace ~flow =
   let segments = Tdat_pkt.Trace.segments trace in
   let to_receiver, to_sender =
     List.partition
-      (fun seg -> Flow.direction_of flow seg = Some Flow.To_receiver)
+      (fun seg -> Flow.is_to_receiver flow seg)
       segments
   in
   let to_sender =
-    List.filter (fun seg -> Flow.direction_of flow seg = Some Flow.To_sender)
-      to_sender
+    List.filter (fun seg -> Flow.is_to_sender flow seg) to_sender
   in
   let data_segs = List.filter Seg.is_data to_receiver in
   let acks = Array.of_list (List.filter (fun (s : Seg.t) -> s.flags.Seg.ack) to_sender) in

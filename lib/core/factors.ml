@@ -54,6 +54,27 @@ let series_of = function
   | Bandwidth -> [ D.Bandwidth_bound ]
   | Network_loss -> [ D.Network_loss ]
 
+let equal_factor a b =
+  match (a, b) with
+  | Bgp_sender_app, Bgp_sender_app
+  | Tcp_cwnd, Tcp_cwnd
+  | Send_local_loss, Send_local_loss
+  | Bgp_receiver_app, Bgp_receiver_app
+  | Tcp_adv_window, Tcp_adv_window
+  | Recv_local_loss, Recv_local_loss
+  | Bandwidth, Bandwidth
+  | Network_loss, Network_loss ->
+      true
+  | ( ( Bgp_sender_app | Tcp_cwnd | Send_local_loss | Bgp_receiver_app
+      | Tcp_adv_window | Recv_local_loss | Bandwidth | Network_loss ),
+      _ ) ->
+      false
+
+let equal_group a b =
+  match (a, b) with
+  | Sender, Sender | Receiver, Receiver | Network, Network -> true
+  | (Sender | Receiver | Network), _ -> false
+
 type result = {
   ratios : (factor * float) list;
   group_ratios : (group * float) list;

@@ -15,6 +15,8 @@ type factor =
 type group = Sender | Receiver | Network
 
 val group_of : factor -> group
+val equal_factor : factor -> factor -> bool
+val equal_group : group -> group -> bool
 val all_factors : factor list
 val factor_name : factor -> string
 val group_name : group -> string

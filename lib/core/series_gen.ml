@@ -82,7 +82,7 @@ let custom_ratio t name =
   Option.map (ratio_of_spans t) (custom t name)
 
 let custom_names t =
-  Tbl.fold (fun name _ acc -> name :: acc) t.customs [] |> List.sort compare
+  Tbl.fold (fun name _ acc -> name :: acc) t.customs [] |> List.sort String.compare
 
 (* ---- helpers --------------------------------------------------------- *)
 
@@ -237,7 +237,7 @@ let generate ?(config = default_config) ?window (p : Conn_profile.t) =
   put D.Ack_flight (flight_series ack_ts);
 
   (* -- idle gaps --------------------------------------------------------- *)
-  let all_ts = List.sort compare (data_ts @ ack_ts) in
+  let all_ts = List.sort Time_us.compare (data_ts @ ack_ts) in
   let b = Series.builder () in
   let rec idle_scan = function
     | a :: (b' :: _ as rest) ->

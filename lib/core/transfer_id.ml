@@ -21,8 +21,7 @@ let connection_start trace ~flow =
   let syn =
     List.find_opt
       (fun (s : Seg.t) ->
-        s.flags.Seg.syn
-        && Tdat_pkt.Flow.direction_of flow s = Some Tdat_pkt.Flow.To_receiver)
+        s.flags.Seg.syn && Tdat_pkt.Flow.is_to_receiver flow s)
       segs
   in
   match (syn, segs) with

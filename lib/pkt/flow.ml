@@ -14,6 +14,17 @@ let direction_of t (seg : Tcp_segment.t) =
   then Some To_sender
   else None
 
+let equal_direction a b =
+  match (a, b) with
+  | To_receiver, To_receiver | To_sender, To_sender -> true
+  | To_receiver, To_sender | To_sender, To_receiver -> false
+
+let is_to_receiver t seg =
+  match direction_of t seg with Some To_receiver -> true | _ -> false
+
+let is_to_sender t seg =
+  match direction_of t seg with Some To_sender -> true | _ -> false
+
 let matches t seg = direction_of t seg <> None
 
 let compare a b =

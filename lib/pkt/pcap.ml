@@ -94,8 +94,12 @@ let read_u32 e s off =
       lor (Char.code s.[off + 2] lsl 8)
       lor Char.code s.[off + 3]
 
+exception Decode_error of string
+
+let fail msg = raise (Decode_error ("Pcap.decode: " ^ msg))
+
 let decode data =
-  if String.length data < 24 then failwith "Pcap.decode: truncated header";
+  if String.length data < 24 then fail "truncated header";
   let raw_magic = read_u32 Le data 0 in
   let endian, ns =
     if Int32.of_int raw_magic = magic_us then (Le, false)
@@ -104,11 +108,11 @@ let decode data =
       let be_magic = read_u32 Be data 0 in
       if Int32.of_int be_magic = magic_us then (Be, false)
       else if Int32.of_int be_magic = magic_ns then (Be, true)
-      else failwith "Pcap.decode: bad magic"
+      else fail "bad magic"
     end
   in
   let link_type = read_u32 endian data 20 in
-  if link_type <> 1 then failwith "Pcap.decode: unsupported link type";
+  if link_type <> 1 then fail "unsupported link type";
   let len = String.length data in
   let segs = ref [] in
   let pos = ref 24 in
@@ -117,7 +121,7 @@ let decode data =
     let ts_sub = read_u32 endian data (!pos + 4) in
     let incl = read_u32 endian data (!pos + 8) in
     let frame_off = !pos + 16 in
-    if frame_off + incl > len then failwith "Pcap.decode: truncated packet";
+    if frame_off + incl > len then fail "truncated packet";
     let ts_us = if ns then ts_sub / 1000 else ts_sub in
     let ts = (ts_sec * 1_000_000) + ts_us in
     (* Parse Ethernet / IPv4 / TCP; skip anything else. *)

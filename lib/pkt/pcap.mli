@@ -9,13 +9,17 @@
     Sequence numbers are wrapped to 32 bits on write; reads return the raw
     32-bit values (traces produced by this repository never wrap). *)
 
+exception Decode_error of string
+(** Raised by {!decode} / {!of_file} on malformed pcap input. *)
+
 val encode : Trace.t -> string
 (** Serializes a trace to pcap file bytes. *)
 
 val decode : string -> Trace.t
 (** Parses pcap file bytes (both little- and big-endian files, µs or ns
     resolution; ns timestamps are truncated to µs).
-    @raise Failure on malformed input.  Non-TCP packets are skipped. *)
+    @raise Decode_error on malformed input.  Non-TCP packets are
+    skipped. *)
 
 val to_file : string -> Trace.t -> unit
 val of_file : string -> Trace.t

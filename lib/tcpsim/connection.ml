@@ -1,5 +1,4 @@
 module Seg = Tdat_pkt.Tcp_segment
-module Engine = Tdat_netsim.Engine
 module Link = Tdat_netsim.Link
 module Sniffer = Tdat_netsim.Sniffer
 module Loss = Tdat_netsim.Loss
@@ -34,7 +33,6 @@ module Routes = Hashtbl.Make (Route_key)
 
 module Site = struct
   type t = {
-    engine : Engine.t;
     sniffer : Sniffer.t;
     down_data : Link.t; (* sniffer -> receiver host *)
     down_ack : Link.t;  (* receiver host -> sniffer *)
@@ -54,7 +52,6 @@ module Site = struct
     let rec site =
       lazy
         {
-          engine;
           sniffer;
           down_data =
             Link.create ~engine ~name:"local-data" ~delay:local.delay

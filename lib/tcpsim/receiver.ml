@@ -15,7 +15,6 @@ type t = {
   mutable delack_timer : Engine.timer option;
   mutable on_data : unit -> unit;
   mutable killed : bool;
-  mutable established : bool;
 }
 
 let create ~engine ~config ~local ~remote ~send () =
@@ -33,7 +32,6 @@ let create ~engine ~config ~local ~remote ~send () =
     delack_timer = None;
     on_data = (fun () -> ());
     killed = false;
-    established = false;
   }
 
 let ooo_bytes t =
@@ -119,7 +117,6 @@ let on_segment t (seg : Seg.t) =
   if not t.killed then begin
     if seg.flags.Seg.syn then begin
       (* Passive open: answer SYN with SYN+ACK advertising our MSS. *)
-      t.established <- true;
       send_ack ~syn:true t
     end
     else if Seg.is_data seg then begin

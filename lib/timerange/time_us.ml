@@ -10,6 +10,8 @@ let ( + ) = Stdlib.( + )
 let ( - ) = Stdlib.( - )
 let min = Stdlib.min
 let max = Stdlib.max
+let compare = Int.compare
+let equal = Int.equal
 
 let pp ppf t =
   let a = abs t in

@@ -33,6 +33,9 @@ val ( - ) : t -> t -> t
 val min : t -> t -> t
 val max : t -> t -> t
 
+val compare : t -> t -> int
+val equal : t -> t -> bool
+
 val pp : Format.formatter -> t -> unit
 (** Prints a human-readable duration, picking µs/ms/s units. *)
 

@@ -1,0 +1,23 @@
+(* Negative fixture for tdat-lint: deliberately violates every rule.
+   This file is data, never compiled — test_lint.ml runs the linter over
+   it (with --treat-as-lib) and asserts each code fires and the exit
+   status is non-zero. *)
+
+let sort_ids ids = List.sort compare ids (* L001: polymorphic compare *)
+
+let order = Stdlib.compare (* L001: qualified polymorphic compare *)
+
+let is_start t = t = Time_us.zero (* L002: = on an abstract timestamp *)
+
+let is_reconstructed s =
+  s <> Transfer_id.Archive (* L002: <> on an abstract constructor *)
+
+let is_half r = r = 0.5 (* L003: float-literal equality *)
+
+let short_name f =
+  match f with
+  | Factors.Bgp_sender_app -> "app"
+  | Factors.Tcp_cwnd -> "cwnd"
+  | _ -> "other" (* L004: catch-all over the factor taxonomy *)
+
+let parse s = if s = "" then failwith "empty input" else s (* L005 *)

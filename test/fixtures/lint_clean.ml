@@ -1,0 +1,24 @@
+(* Positive fixture for tdat-lint: equivalent code written the compliant
+   way.  test_lint.ml asserts the linter reports nothing here even with
+   --treat-as-lib. *)
+
+let sort_ids ids = List.sort Int.compare ids
+
+let order = Int.compare
+
+let is_start t = Time_us.equal t Time_us.zero
+
+let is_half r = Float.abs (r -. 0.5) < 1e-9
+
+let short_name f =
+  match f with
+  | Factors.Bgp_sender_app -> "app"
+  | Factors.Tcp_cwnd -> "cwnd"
+  | Factors.Send_local_loss | Factors.Bgp_receiver_app
+  | Factors.Tcp_adv_window | Factors.Recv_local_loss | Factors.Bandwidth
+  | Factors.Network_loss ->
+      "other"
+
+exception Empty_input
+
+let parse s = if String.equal s "" then raise Empty_input else s

@@ -107,7 +107,9 @@ let test_msg_partial () =
 let test_msg_bad_marker () =
   let bytes = Bytes.of_string (Msg.encode Msg.Keepalive) in
   Bytes.set bytes 3 '\000';
-  Alcotest.check_raises "marker check" (Failure "Msg.peek_length: bad marker")
+  Alcotest.check_raises "marker check"
+    (Bgp_error.Decode_error
+       { context = "Msg.peek_length"; message = "bad marker" })
     (fun () -> ignore (Msg.decode (Bytes.to_string bytes) 0))
 
 (* --- Table generation and packing --------------------------------------- *)

@@ -1,0 +1,79 @@
+(* tdat-lint: drive the built linter executable over the fixture files.
+   The bad fixture seeds one violation per rule and must make the linter
+   exit non-zero with every code reported — this is the negative test
+   behind the [@lint] alias's guarantee.  The clean fixture is the same
+   code written the compliant way and must pass. *)
+
+let lint_exe = Filename.concat ".." (Filename.concat "bin" "tdat_lint.exe")
+
+(* Returns (exit code, stdout lines).  stderr (the summary line) is
+   dropped so it doesn't pollute the alcotest output. *)
+let run_lint args =
+  let cmd =
+    String.concat " " (List.map Filename.quote (lint_exe :: args))
+    ^ " 2>/dev/null"
+  in
+  let ic = Unix.open_process_in cmd in
+  let rec read acc =
+    match In_channel.input_line ic with
+    | Some l -> read (l :: acc)
+    | None -> List.rev acc
+  in
+  let lines = read [] in
+  let code =
+    match Unix.close_process_in ic with
+    | Unix.WEXITED c -> c
+    | Unix.WSIGNALED _ | Unix.WSTOPPED _ -> 255
+  in
+  (code, lines)
+
+let contains_substring haystack needle =
+  let nh = String.length haystack and nn = String.length needle in
+  let rec at i = i + nn <= nh && (String.sub haystack i nn = needle || at (i + 1)) in
+  at 0
+
+let codes = [ "L001"; "L002"; "L003"; "L004"; "L005" ]
+
+let test_bad_fixture_fails () =
+  let exit_code, lines =
+    run_lint [ "--treat-as-lib"; Filename.concat "fixtures" "lint_bad.ml" ]
+  in
+  Alcotest.(check int) "non-zero exit on seeded violations" 1 exit_code;
+  List.iter
+    (fun code ->
+      (* Finding format: file:line:col: [Lnnn] message *)
+      let tag = Printf.sprintf "[%s]" code in
+      Alcotest.(check bool)
+        (Printf.sprintf "code %s reported" code)
+        true
+        (List.exists (fun line -> contains_substring line tag) lines))
+    codes
+
+let test_bad_fixture_findings_located () =
+  let _, lines =
+    run_lint [ "--treat-as-lib"; Filename.concat "fixtures" "lint_bad.ml" ]
+  in
+  Alcotest.(check bool) "at least five findings" true (List.length lines >= 5);
+  List.iter
+    (fun line ->
+      Alcotest.(check bool)
+        (Printf.sprintf "finding names the fixture: %s" line)
+        true
+        (String.starts_with ~prefix:"fixtures" line))
+    lines
+
+let test_clean_fixture_passes () =
+  let exit_code, lines =
+    run_lint [ "--treat-as-lib"; Filename.concat "fixtures" "lint_clean.ml" ]
+  in
+  Alcotest.(check int) "zero exit on clean file" 0 exit_code;
+  Alcotest.(check (list string)) "no findings" [] lines
+
+let suite =
+  [
+    Alcotest.test_case "bad fixture reports every code" `Quick
+      test_bad_fixture_fails;
+    Alcotest.test_case "findings carry locations" `Quick
+      test_bad_fixture_findings_located;
+    Alcotest.test_case "clean fixture passes" `Quick test_clean_fixture_passes;
+  ]

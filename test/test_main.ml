@@ -12,5 +12,7 @@ let () =
       ("detectors", Test_detectors.suite);
       ("fleet", Test_fleet.suite);
       ("properties", Test_properties.suite);
+      ("audit", Test_audit.suite);
+      ("lint", Test_lint.suite);
       ("misc", Test_misc.suite);
     ]

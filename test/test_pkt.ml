@@ -108,10 +108,11 @@ let test_pcap_roundtrip () =
     (sa.Seg.flags.Seg.syn && sa.Seg.flags.Seg.ack)
 
 let test_pcap_rejects_garbage () =
-  Alcotest.check_raises "bad magic" (Failure "Pcap.decode: bad magic")
+  Alcotest.check_raises "bad magic" (Pcap.Decode_error "Pcap.decode: bad magic")
     (fun () -> ignore (Pcap.decode (String.make 32 'z')));
-  Alcotest.check_raises "truncated" (Failure "Pcap.decode: truncated header")
-    (fun () -> ignore (Pcap.decode "abc"))
+  Alcotest.check_raises "truncated"
+    (Pcap.Decode_error "Pcap.decode: truncated header") (fun () ->
+      ignore (Pcap.decode "abc"))
 
 let test_pcap_file_io () =
   let t =
