@@ -8,7 +8,7 @@
      bench/main.exe --scale 0.2     scale the dataset sizes (faster runs)
      bench/main.exe --list          list experiment names *)
 
-let registry = Experiments.registry @ Ablations.registry
+let registry = Experiments.registry @ Ablations.registry @ Scaling.registry
 
 let usage () =
   print_endline "experiments:";

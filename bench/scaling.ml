@@ -1,0 +1,155 @@
+(* Fleet-scaling benchmark: the paper's workload is ~480 GB of traces
+   covering hundreds of sessions, so whole-fleet throughput is the number
+   that matters.  This harness synthesizes a fleet of independent
+   monitored sessions merged into one capture, then measures the two
+   fleet-path optimizations:
+
+     - single-pass trace partitioning (Trace.partition_connections)
+       against the legacy per-connection rescan it replaced
+       (O(connections x packets));
+     - Analyzer.analyze_all at jobs in {1,2,4,8} on the Domain pool,
+       with the byte-identical-output check across jobs values.
+
+   Results are emitted as machine-readable BENCH_SPEED.json so CI and
+   later sessions can compare hardware and regressions.  [scaling_smoke]
+   is a seconds-scale variant wired into `dune build @bench-smoke` (a
+   `dune runtest` dependency), so the executable cannot rot. *)
+
+module Scenario = Tdat_bgpsim.Scenario
+module Trace = Tdat_pkt.Trace
+
+let time f =
+  let t0 = Unix.gettimeofday () in
+  let r = f () in
+  (r, Unix.gettimeofday () -. t0)
+
+let min_time_of ~repeat f =
+  let best = ref infinity in
+  for _ = 1 to repeat do
+    let _, dt = time f in
+    if dt < !best then best := dt
+  done;
+  !best
+
+(* One independent session per router id, with a deterministic mix of
+   sender behaviours so per-connection analysis cost is uneven — the
+   realistic load-balancing case for the pool. *)
+let fleet_trace ~sessions ~prefixes ~seed =
+  let session id =
+    let timer_interval =
+      match id mod 3 with 0 -> None | 1 -> Some 200_000 | _ -> Some 100_000
+    in
+    let quota = match id mod 3 with 0 -> 8 | 1 -> 6 | _ -> 12 in
+    let upstream =
+      if id mod 4 = 0 then
+        Tdat_tcpsim.Connection.path ~delay:2_000
+          ~data_loss:
+            (Tdat_netsim.Loss.bernoulli (Tdat_rng.Rng.create (seed + id)) 0.01)
+          ()
+      else Tdat_tcpsim.Connection.path ~delay:2_000 ()
+    in
+    let router =
+      Scenario.router ~table_prefixes:prefixes ?timer_interval ~quota
+        ~upstream id
+    in
+    let result = Scenario.run ~seed:(seed + id) [ router ] in
+    List.hd result.Scenario.outcomes
+  in
+  let outcomes = List.init sessions (fun i -> session (i + 1)) in
+  Trace.of_segments
+    (List.concat_map (fun o -> Trace.segments o.Scenario.trace) outcomes)
+
+(* The fleet preparation the partition replaced: enumerate connections,
+   then rescan the whole trace once per connection (orientation included,
+   as the old analyze_all did). *)
+let legacy_rescan trace =
+  Trace.connections trace
+  |> List.map (fun key ->
+         let flow = Trace.infer_sender trace key in
+         ( key,
+           Trace.split_connection trace ~sender:flow.Tdat_pkt.Flow.sender
+             ~receiver:flow.Tdat_pkt.Flow.receiver ))
+
+let report_digest results =
+  List.map (fun (_, a) -> Tdat.Report.to_string a) results
+
+let run_config ~label ~out ~sessions ~prefixes ~jobs_list () =
+  Printf.printf "\n=== %s: %d sessions x %d prefixes ===\n%!" label sessions
+    prefixes;
+  let trace, gen_s = time (fun () -> fleet_trace ~sessions ~prefixes ~seed:7) in
+  let packets = Trace.length trace in
+  let connections = List.length (Trace.connections trace) in
+  Printf.printf "fleet ready: %d connections, %d packets (%.2f s to simulate)\n%!"
+    connections packets gen_s;
+  let partition_s =
+    min_time_of ~repeat:3 (fun () -> ignore (Trace.partition_connections trace))
+  in
+  let rescan_s = min_time_of ~repeat:3 (fun () -> ignore (legacy_rescan trace)) in
+  Printf.printf
+    "partition (single pass) %.4f s | legacy rescan %.4f s | %.1fx\n%!"
+    partition_s rescan_s (rescan_s /. partition_s);
+  (* Warm the allocator and code paths once so the first measured
+     configuration does not pay the heap-growth cost alone. *)
+  ignore (Tdat.Analyzer.analyze_all ~audit:true ~jobs:1 trace);
+  let measured =
+    List.map
+      (fun jobs ->
+        let results, wall1 =
+          time (fun () -> Tdat.Analyzer.analyze_all ~audit:true ~jobs trace)
+        in
+        let _, wall2 =
+          time (fun () -> Tdat.Analyzer.analyze_all ~audit:true ~jobs trace)
+        in
+        let wall_s = min wall1 wall2 in
+        Printf.printf "analyze_all jobs=%d: %.3f s (best of 2)\n%!" jobs wall_s;
+        (jobs, wall_s, report_digest results))
+      jobs_list
+  in
+  let base_wall =
+    match measured with (_, w, _) :: _ -> w | [] -> nan
+  in
+  let base_digest =
+    match measured with (_, _, d) :: _ -> d | [] -> []
+  in
+  let deterministic =
+    List.for_all (fun (_, _, d) -> List.equal String.equal d base_digest)
+      measured
+  in
+  Printf.printf "deterministic across jobs: %b\n%!" deterministic;
+  let oc = open_out out in
+  let p fmt = Printf.fprintf oc fmt in
+  p "{\n";
+  p "  \"benchmark\": \"fleet-scaling\",\n";
+  p "  \"config\": \"%s\",\n" label;
+  p "  \"cores_recommended\": %d,\n" (Tdat_parallel.Pool.default_jobs ());
+  p "  \"sessions\": %d,\n" sessions;
+  p "  \"prefixes_per_table\": %d,\n" prefixes;
+  p "  \"connections\": %d,\n" connections;
+  p "  \"packets\": %d,\n" packets;
+  p "  \"stages\": {\n";
+  p "    \"partition_single_pass_s\": %.6f,\n" partition_s;
+  p "    \"legacy_per_connection_rescan_s\": %.6f,\n" rescan_s;
+  p "    \"partition_speedup\": %.3f\n" (rescan_s /. partition_s);
+  p "  },\n";
+  p "  \"analyze_all\": [\n";
+  List.iteri
+    (fun i (jobs, wall_s, _) ->
+      p "    { \"jobs\": %d, \"wall_s\": %.6f, \"speedup_vs_jobs1\": %.3f }%s\n"
+        jobs wall_s (base_wall /. wall_s)
+        (if i = List.length measured - 1 then "" else ","))
+    measured;
+  p "  ],\n";
+  p "  \"deterministic_across_jobs\": %b\n" deterministic;
+  p "}\n";
+  close_out oc;
+  Printf.printf "wrote %s\n%!" out
+
+let run_full () =
+  run_config ~label:"full" ~out:"BENCH_SPEED.json" ~sessions:12
+    ~prefixes:12_000 ~jobs_list:[ 1; 2; 4; 8 ] ()
+
+let run_smoke () =
+  run_config ~label:"smoke" ~out:"BENCH_SPEED.smoke.json" ~sessions:3
+    ~prefixes:200 ~jobs_list:[ 1; 2 ] ()
+
+let registry = [ ("scaling", run_full); ("scaling_smoke", run_smoke) ]

@@ -4,13 +4,18 @@
 
 open Cmdliner
 
-let generate out_pcap out_mrt prefixes timer_ms quota seed rtt_ms loss =
+(* One independent monitored session: router [id] (1-based) transfers its
+   table toward its own collector instance.  Sessions are distinguished by
+   the router endpoint (derived from the id), so merged traces carry one
+   TCP connection per session — exactly the multi-session capture shape
+   the analyzer's fleet path consumes. *)
+let session prefixes timer_ms quota seed rtt_ms loss id =
   let upstream =
     Tdat_tcpsim.Connection.path
       ~delay:(int_of_float (rtt_ms *. 500.))
       ~data_loss:
         (if loss > 0. then
-           Tdat_netsim.Loss.bernoulli (Tdat_rng.Rng.create (seed + 1)) loss
+           Tdat_netsim.Loss.bernoulli (Tdat_rng.Rng.create (seed + id)) loss
          else Tdat_netsim.Loss.none)
       ()
   in
@@ -18,19 +23,41 @@ let generate out_pcap out_mrt prefixes timer_ms quota seed rtt_ms loss =
     Tdat_bgpsim.Scenario.router ~table_prefixes:prefixes
       ?timer_interval:
         (if timer_ms > 0 then Some (timer_ms * 1000) else None)
-      ~quota ~upstream 1
+      ~quota ~upstream id
   in
-  let result = Tdat_bgpsim.Scenario.run ~seed [ router ] in
-  let o = List.hd result.Tdat_bgpsim.Scenario.outcomes in
-  Tdat_pkt.Pcap.to_file out_pcap o.Tdat_bgpsim.Scenario.trace;
-  Printf.printf "wrote %s (%d packets, %d bytes of BGP)\n" out_pcap
-    (Tdat_pkt.Trace.length o.Tdat_bgpsim.Scenario.trace)
-    (Tdat_pkt.Trace.total_bytes o.Tdat_bgpsim.Scenario.trace);
+  let result = Tdat_bgpsim.Scenario.run ~seed:(seed + id - 1) [ router ] in
+  List.hd result.Tdat_bgpsim.Scenario.outcomes
+
+let generate out_pcap out_mrt prefixes timer_ms quota seed rtt_ms loss routers
+    jobs =
+  let jobs = if jobs < 1 then 1 else jobs in
+  let outcomes =
+    Tdat_parallel.Pool.with_pool ~jobs (fun pool ->
+        Tdat_parallel.Pool.map pool
+          (session prefixes timer_ms quota seed rtt_ms loss)
+          (List.init routers (fun i -> i + 1)))
+  in
+  let trace =
+    match outcomes with
+    | [ o ] -> o.Tdat_bgpsim.Scenario.trace
+    | os ->
+        Tdat_pkt.Trace.of_segments
+          (List.concat_map
+             (fun o -> Tdat_pkt.Trace.segments o.Tdat_bgpsim.Scenario.trace)
+             os)
+  in
+  let mrt =
+    List.concat_map (fun o -> o.Tdat_bgpsim.Scenario.mrt) outcomes
+  in
+  Tdat_pkt.Pcap.to_file out_pcap trace;
+  Printf.printf "wrote %s (%d sessions, %d packets, %d bytes of BGP)\n"
+    out_pcap routers
+    (Tdat_pkt.Trace.length trace)
+    (Tdat_pkt.Trace.total_bytes trace);
   (match out_mrt with
   | Some path ->
-      Tdat_bgp.Mrt.to_file path o.Tdat_bgpsim.Scenario.mrt;
-      Printf.printf "wrote %s (%d MRT records)\n" path
-        (List.length o.Tdat_bgpsim.Scenario.mrt)
+      Tdat_bgp.Mrt.to_file path mrt;
+      Printf.printf "wrote %s (%d MRT records)\n" path (List.length mrt)
   | None -> ());
   0
 
@@ -67,11 +94,25 @@ let loss_arg =
   Arg.(value & opt float 0.0
        & info [ "loss" ] ~doc:"Upstream random loss probability.")
 
+let routers_arg =
+  Arg.(value & opt int 1
+       & info [ "routers" ]
+           ~doc:"Number of independent monitored sessions to synthesize \
+                 and merge into the trace (one TCP connection each).")
+
+let jobs_arg =
+  Arg.(value & opt int (Tdat_parallel.Pool.default_jobs ())
+       & info [ "j"; "jobs" ] ~docv:"N"
+           ~doc:"Simulate sessions on $(docv) worker domains (default: \
+                 the recommended core count).  Output is identical for \
+                 every value.")
+
 let cmd =
-  let doc = "synthesize a monitored BGP table transfer as pcap (+ MRT)" in
+  let doc = "synthesize monitored BGP table transfers as pcap (+ MRT)" in
   Cmd.v
     (Cmd.info "simgen" ~version:"1.0.0" ~doc)
     Term.(const generate $ out_pcap_arg $ out_mrt_arg $ prefixes_arg
-          $ timer_arg $ quota_arg $ seed_arg $ rtt_arg $ loss_arg)
+          $ timer_arg $ quota_arg $ seed_arg $ rtt_arg $ loss_arg
+          $ routers_arg $ jobs_arg)
 
 let () = exit (Cmd.eval' cmd)

@@ -25,10 +25,10 @@ let with_decode_errors f =
       Printf.eprintf "tdat: %s: %s\n" context message;
       2
 
-let analyze_file pcap_path mrt_path show_series sender_side =
+let analyze_file pcap_path mrt_path show_series sender_side jobs =
   with_decode_errors @@ fun () ->
   let trace, mrt, config = load pcap_path mrt_path sender_side in
-  let results = Tdat.Analyzer.analyze_all ~config ?mrt trace in
+  let results = Tdat.Analyzer.analyze_all ~config ?mrt ~jobs trace in
   if results = [] then prerr_endline "no TCP connections found in trace";
   List.iter
     (fun (_, a) ->
@@ -41,10 +41,10 @@ let analyze_file pcap_path mrt_path show_series sender_side =
     results;
   0
 
-let check_file pcap_path mrt_path sender_side =
+let check_file pcap_path mrt_path sender_side jobs =
   with_decode_errors @@ fun () ->
   let trace, mrt, config = load pcap_path mrt_path sender_side in
-  let results = Tdat.Analyzer.analyze_all ~config ?mrt ~audit:true trace in
+  let results = Tdat.Analyzer.analyze_all ~config ?mrt ~audit:true ~jobs trace in
   if results = [] then prerr_endline "no TCP connections found in trace";
   let failed =
     List.fold_left
@@ -83,8 +83,23 @@ let sender_side_arg =
   in
   Arg.(value & flag & info [ "sender-side" ] ~doc)
 
+let jobs_arg =
+  let doc =
+    "Analyze connections on $(docv) worker domains (default: the \
+     core count the runtime recommends; 1 = fully sequential).  The \
+     output is identical for every value."
+  in
+  Arg.(
+    value
+    & opt int (Tdat_parallel.Pool.default_jobs ())
+    & info [ "j"; "jobs" ] ~docv:"N" ~doc)
+
+let clamp_jobs n = if n < 1 then 1 else n
+
 let analyze_term =
-  Term.(const analyze_file $ pcap_arg $ mrt_arg $ series_arg $ sender_side_arg)
+  Term.(
+    const (fun p m s side j -> analyze_file p m s side (clamp_jobs j))
+    $ pcap_arg $ mrt_arg $ series_arg $ sender_side_arg $ jobs_arg)
 
 let analyze_cmd =
   let doc = "Explain where each table transfer's time went (default)" in
@@ -120,7 +135,9 @@ let check_cmd =
   in
   Cmd.v
     (Cmd.info "check" ~doc ~man)
-    Term.(const check_file $ pcap_arg $ mrt_arg $ sender_side_arg)
+    Term.(
+      const (fun p m side j -> check_file p m side (clamp_jobs j))
+      $ pcap_arg $ mrt_arg $ sender_side_arg $ jobs_arg)
 
 let cmd =
   let doc = "TCP delay analysis for BGP table transfers (T-DAT)" in

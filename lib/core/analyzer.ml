@@ -101,13 +101,18 @@ let analyze ?config ?major_threshold ?mct ?mrt ?(skip_shift = false)
   in
   { profile; shifted; shifts; transfer; series; factors; problems; audit }
 
-let analyze_all ?config ?major_threshold ?mct ?mrt ?audit trace =
-  Tdat_pkt.Trace.connections trace
-  |> List.map (fun key ->
-         let flow = Tdat_pkt.Trace.infer_sender trace key in
-         let sub =
-           Tdat_pkt.Trace.split_connection trace
-             ~sender:flow.Tdat_pkt.Flow.sender
-             ~receiver:flow.Tdat_pkt.Flow.receiver
-         in
-         (flow, analyze ?config ?major_threshold ?mct ?mrt ?audit sub ~flow))
+let analyze_all ?config ?major_threshold ?mct ?mrt ?audit ?jobs trace =
+  (* One pass buckets the whole trace; each bucket is then an
+     independent, pure analysis task, farmed to the domain pool.
+     Results come back in input order, so the output is identical to the
+     sequential path whatever [jobs] is.  Sender inference runs on the
+     per-connection sub-trace: byte counts from other connections
+     sharing an endpoint (every session shares the collector's) cannot
+     leak into the orientation. *)
+  let parts = Tdat_pkt.Trace.partition_connections trace in
+  let analyze_one (key, sub) =
+    let flow = Tdat_pkt.Trace.infer_sender sub key in
+    (flow, analyze ?config ?major_threshold ?mct ?mrt ?audit sub ~flow)
+  in
+  Tdat_parallel.Pool.with_pool ?jobs (fun pool ->
+      Tdat_parallel.Pool.map pool analyze_one parts)

@@ -51,7 +51,14 @@ val analyze_all :
   ?mct:Tdat_bgp.Mct.config ->
   ?mrt:Tdat_bgp.Mrt.record list ->
   ?audit:bool ->
+  ?jobs:int ->
   Tdat_pkt.Trace.t ->
   (Tdat_pkt.Flow.t * t) list
-(** Extract every connection in the trace ({!Tdat_pkt.Trace.connections}),
-    orient each by byte volume, and analyze it. *)
+(** Extract every connection in the trace in one pass
+    ({!Tdat_pkt.Trace.partition_connections}), orient each by byte
+    volume over its own packets, and analyze it.  Connections are
+    analyzed on [jobs] domains (default
+    [Domain.recommended_domain_count ()]; [1] = fully sequential, no
+    domains spawned).  The result is deterministic and identical for
+    every [jobs] value: connections stay in first-appearance order and
+    each analysis is a pure function of its sub-trace. *)

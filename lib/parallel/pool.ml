@@ -1,0 +1,138 @@
+(* A hand-rolled Domain worker pool: a chunked index queue under one
+   Mutex/Condition pair.  Results land by input index, so the output
+   order never depends on scheduling; the memory model is respected
+   because every result write is ordered before the completion-counter
+   update under [mutex], which the consumer reads under the same mutex
+   before touching the results array. *)
+
+(* One in-flight batch.  [run i] executes item [i] and must not raise
+   (map wraps the user function; exceptions are captured out of band). *)
+type batch = {
+  run : int -> unit;
+  total : int;
+  chunk : int;
+  mutable next : int;  (* next index to hand out *)
+  mutable completed : int;
+}
+
+type t = {
+  pool_jobs : int;
+  mutex : Mutex.t;
+  work_available : Condition.t;  (* a batch arrived, or shutdown *)
+  batch_done : Condition.t;      (* the current batch completed *)
+  mutable batch : batch option;
+  mutable stop : bool;
+  mutable domains : unit Domain.t list;
+}
+
+let default_jobs () = Domain.recommended_domain_count ()
+
+(* Pull chunks of [b] until its queue is empty.  Called (and returns)
+   with [t.mutex] held. *)
+let drain t b =
+  while b.next < b.total do
+    let lo = b.next in
+    let hi = min b.total (lo + b.chunk) in
+    b.next <- hi;
+    Mutex.unlock t.mutex;
+    for i = lo to hi - 1 do
+      b.run i
+    done;
+    Mutex.lock t.mutex;
+    b.completed <- b.completed + (hi - lo);
+    if b.completed >= b.total then begin
+      t.batch <- None;
+      Condition.broadcast t.batch_done
+    end
+  done
+
+let worker t =
+  Mutex.lock t.mutex;
+  let running = ref true in
+  while !running do
+    match t.batch with
+    | Some b when b.next < b.total -> drain t b
+    | Some _ | None ->
+        if t.stop then running := false
+        else Condition.wait t.work_available t.mutex
+  done;
+  Mutex.unlock t.mutex
+
+let create ?jobs () =
+  let jobs = match jobs with Some j -> j | None -> default_jobs () in
+  if jobs < 1 then
+    invalid_arg (Printf.sprintf "Pool.create: jobs (%d) must be >= 1" jobs);
+  (* The runtime supports at most 128 simultaneous domains; leave head
+     room for the caller and whatever else the process runs. *)
+  let jobs = min jobs 126 in
+  let t =
+    {
+      pool_jobs = jobs;
+      mutex = Mutex.create ();
+      work_available = Condition.create ();
+      batch_done = Condition.create ();
+      batch = None;
+      stop = false;
+      domains = [];
+    }
+  in
+  t.domains <- List.init (jobs - 1) (fun _ -> Domain.spawn (fun () -> worker t));
+  t
+
+let jobs t = t.pool_jobs
+
+let map t f xs =
+  if t.stop then invalid_arg "Pool.map: pool is shut down";
+  match xs with
+  | [] -> []
+  | xs when t.pool_jobs = 1 || List.compare_length_with xs 2 < 0 ->
+      List.map f xs
+  | xs ->
+      let input = Array.of_list xs in
+      let n = Array.length input in
+      let results = Array.make n None in
+      let error = Atomic.make None in
+      let run i =
+        match f input.(i) with
+        | y -> results.(i) <- Some y
+        | exception e ->
+            let bt = Printexc.get_raw_backtrace () in
+            (* Keep the first failure; later ones add no information. *)
+            ignore (Atomic.compare_and_set error None (Some (e, bt)))
+      in
+      (* Small chunks keep heavyweight, unevenly-sized tasks (whole
+         connection analyses) balanced; the constant only matters for
+         huge fine-grained batches. *)
+      let chunk = max 1 (n / (t.pool_jobs * 8)) in
+      let b = { run; total = n; chunk; next = 0; completed = 0 } in
+      Mutex.lock t.mutex;
+      while Option.is_some t.batch do
+        Condition.wait t.batch_done t.mutex
+      done;
+      t.batch <- Some b;
+      Condition.broadcast t.work_available;
+      (* The caller is the jobs-th executor. *)
+      drain t b;
+      while b.completed < b.total do
+        Condition.wait t.batch_done t.mutex
+      done;
+      Mutex.unlock t.mutex;
+      (match Atomic.get error with
+      | Some (e, bt) -> Printexc.raise_with_backtrace e bt
+      | None -> ());
+      Array.to_list (Array.map Option.get results)
+
+let shutdown t =
+  Mutex.lock t.mutex;
+  if t.stop then Mutex.unlock t.mutex
+  else begin
+    t.stop <- true;
+    Condition.broadcast t.work_available;
+    Mutex.unlock t.mutex;
+    List.iter Domain.join t.domains;
+    t.domains <- []
+  end
+
+let with_pool ?jobs f =
+  let t = create ?jobs () in
+  Fun.protect ~finally:(fun () -> shutdown t) (fun () -> f t)

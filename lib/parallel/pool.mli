@@ -1,0 +1,54 @@
+(** A fixed-size [Domain]-based worker pool for fleet-level analysis.
+
+    The paper's datasets cover hundreds of BGP sessions; per-connection
+    analysis is embarrassingly parallel, and OCaml 5 gives us real
+    shared-memory parallelism.  This pool is deliberately tiny — a
+    chunked index queue guarded by a [Mutex]/[Condition] pair — so the
+    repository keeps its no-external-dependency rule ([domainslib] is
+    not available here).
+
+    Guarantees:
+
+    - {b Deterministic ordering}: [map pool f xs] returns results in the
+      order of [xs], regardless of which domain computed which element
+      or in what order they finished.  Output is therefore identical to
+      [List.map f xs] whenever [f] is pure.
+    - {b Exception transparency}: if [f] raises on some element, the
+      first exception observed (earliest completion, not necessarily the
+      earliest index) is re-raised in the caller with its backtrace once
+      the batch has drained.
+    - {b Degenerate sequential mode}: [jobs = 1] spawns no domains at
+      all; [map] is exactly [List.map].
+
+    One batch runs at a time per pool, and the calling domain itself
+    works on the batch, so a pool of [jobs = n] uses [n - 1] spawned
+    domains plus the caller.  [map] must not be called from inside a
+    task running on the same pool (the nested call would wait for the
+    batch it is part of). *)
+
+type t
+
+val default_jobs : unit -> int
+(** [Domain.recommended_domain_count ()] — the parallelism the runtime
+    believes the hardware supports (1 on a single-core container). *)
+
+val create : ?jobs:int -> unit -> t
+(** [create ~jobs ()] starts [jobs - 1] worker domains (default
+    {!default_jobs}; values above 126 are clamped so the spawn can never
+    exceed the runtime's domain limit).
+    @raise Invalid_argument if [jobs < 1]. *)
+
+val jobs : t -> int
+(** The parallelism this pool was created with (after clamping). *)
+
+val map : t -> ('a -> 'b) -> 'a list -> 'b list
+(** [map pool f xs] applies [f] to every element of [xs], on up to
+    [jobs pool] domains, and returns the results in input order. *)
+
+val shutdown : t -> unit
+(** Joins the worker domains.  Idempotent.  Using [map] after
+    [shutdown] raises [Invalid_argument]. *)
+
+val with_pool : ?jobs:int -> (t -> 'a) -> 'a
+(** [with_pool ~jobs f] is [f (create ~jobs ())] with a guaranteed
+    {!shutdown}, whether [f] returns or raises. *)

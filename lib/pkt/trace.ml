@@ -39,12 +39,62 @@ let connections t =
   Array.iter visit t.segments;
   List.rev !order
 
-let split_connection t ~sender ~receiver =
-  let flow = Flow.v ~sender ~receiver in
-  let segs =
-    Array.to_list t.segments |> List.filter (Flow.matches flow)
+(* Growable segment buffer for the single-pass partition below. *)
+type buf = { mutable arr : Tcp_segment.t array; mutable len : int }
+
+let buf_push b seg =
+  if b.len = Array.length b.arr then begin
+    let bigger = Array.make (2 * b.len) seg in
+    Array.blit b.arr 0 bigger 0 b.len;
+    b.arr <- bigger
+  end;
+  b.arr.(b.len) <- seg;
+  b.len <- b.len + 1
+
+let partition_connections t =
+  let bufs : (Endpoint.t * Endpoint.t, buf) Hashtbl.t = Hashtbl.create 16 in
+  let order = ref [] in
+  let visit seg =
+    let k = conn_key seg in
+    match Hashtbl.find_opt bufs k with
+    | Some b -> buf_push b seg
+    | None ->
+        Hashtbl.add bufs k { arr = Array.make 16 seg; len = 1 };
+        order := k :: !order
   in
-  { segments = Array.of_list segs; voids = t.voids }
+  Array.iter visit t.segments;
+  (* [order] is in reverse appearance order; rev_map restores it.  The
+     per-connection arrays inherit the trace's time order because the
+     single pass is order-preserving. *)
+  List.rev_map
+    (fun k ->
+      let b = Hashtbl.find bufs k in
+      (k, { segments = Array.sub b.arr 0 b.len; voids = t.voids }))
+    !order
+
+let split_connection t ~sender ~receiver =
+  (* Thin single-connection wrapper: count, then fill a pre-sized
+     array.  Callers wanting every connection should use
+     [partition_connections], which does all of them in one pass. *)
+  let flow = Flow.v ~sender ~receiver in
+  let n = Array.length t.segments in
+  let count = ref 0 in
+  for i = 0 to n - 1 do
+    if Flow.matches flow t.segments.(i) then incr count
+  done;
+  if !count = 0 then { segments = [||]; voids = t.voids }
+  else begin
+    let out = Array.make !count t.segments.(0) in
+    let k = ref 0 in
+    for i = 0 to n - 1 do
+      let seg = t.segments.(i) in
+      if Flow.matches flow seg then begin
+        out.(!k) <- seg;
+        incr k
+      end
+    done;
+    { segments = out; voids = t.voids }
+  end
 
 let filter f t =
   { t with segments = Array.of_list (List.filter f (segments t)) }

@@ -1,33 +1,51 @@
 (* Canonical form: an array of disjoint, non-adjacent spans in increasing
    order.  The array representation makes point queries O(log n) and the
    linear merges below cache-friendly, which matters when a trace yields
-   hundreds of thousands of events. *)
+   hundreds of thousands of events.
+
+   Every kernel writes directly into a pre-sized result array — no list
+   intermediates, no List.rev — because the set algebra runs once per
+   series per connection and dominates the per-core cost of fleet
+   analysis. *)
 
 type t = Span.t array
 
 let empty = [||]
 let is_empty s = Array.length s = 0
 
-let coalesce_sorted spans =
-  (* [spans]: sorted by start.  Merge overlapping or adjacent spans. *)
-  match spans with
-  | [] -> [||]
-  | first :: rest ->
-      let acc = ref [] in
-      let cur = ref first in
-      let flush () = acc := !cur :: !acc in
-      let absorb s =
-        if Span.touches !cur s then cur := Span.hull !cur s
-        else begin
-          flush ();
-          cur := s
-        end
-      in
-      List.iter absorb rest;
-      flush ();
-      Array.of_list (List.rev !acc)
+(* Coalesce an array sorted by start, writing the canonical form into a
+   fresh array.  Returns the input itself when nothing coalesces. *)
+let coalesce_sorted_arr src =
+  let n = Array.length src in
+  if n = 0 then empty
+  else begin
+    let out = Array.make n src.(0) in
+    let k = ref 0 in
+    let cur_start = ref (Span.start src.(0)) in
+    let cur_stop = ref (Span.stop src.(0)) in
+    for i = 1 to n - 1 do
+      let s = src.(i) in
+      let s_start = Span.start s and s_stop = Span.stop s in
+      if s_start <= !cur_stop then begin
+        if s_stop > !cur_stop then cur_stop := s_stop
+      end
+      else begin
+        out.(!k) <- Span.v !cur_start !cur_stop;
+        incr k;
+        cur_start := s_start;
+        cur_stop := s_stop
+      end
+    done;
+    out.(!k) <- Span.v !cur_start !cur_stop;
+    incr k;
+    if !k = n then src else Array.sub out 0 !k
+  end
 
-let of_spans spans = coalesce_sorted (List.sort Span.compare spans)
+let of_spans spans =
+  let a = Array.of_list spans in
+  Array.sort Span.compare a;
+  coalesce_sorted_arr a
+
 let of_span s = [| s |]
 let to_list s = Array.to_list s
 let cardinal = Array.length
@@ -54,58 +72,146 @@ let span_at t s =
   let i = find_covering t s in
   if i >= 0 then Some s.(i) else None
 
-let add sp s = of_spans (sp :: to_list s)
+(* O(log n) locate + O(n) splice: find the (possibly empty) run of spans
+   touching [sp], replace it by the single merged span.  Both binary
+   searches exploit canonical form: starts and stops are strictly
+   increasing. *)
+let add sp s =
+  let n = Array.length s in
+  if n = 0 then [| sp |]
+  else begin
+    let sp_start = Span.start sp and sp_stop = Span.stop sp in
+    (* First index whose stop reaches sp (stop >= sp_start). *)
+    let lo = ref 0 and hi = ref n in
+    while !lo < !hi do
+      let mid = (!lo + !hi) / 2 in
+      if Span.stop s.(mid) < sp_start then lo := mid + 1 else hi := mid
+    done;
+    let first = !lo in
+    (* First index starting after sp (start > sp_stop); the touching run
+       is [first, after). *)
+    let lo = ref first and hi = ref n in
+    while !lo < !hi do
+      let mid = (!lo + !hi) / 2 in
+      if Span.start s.(mid) <= sp_stop then lo := mid + 1 else hi := mid
+    done;
+    let after = !lo in
+    if first >= after then begin
+      (* Nothing touches: insert at [first]. *)
+      let out = Array.make (n + 1) sp in
+      Array.blit s 0 out 0 first;
+      Array.blit s first out (first + 1) (n - first);
+      out
+    end
+    else begin
+      let run_start = Span.start s.(first) in
+      let run_stop = Span.stop s.(after - 1) in
+      let merged_start = min sp_start run_start in
+      let merged_stop = max sp_stop run_stop in
+      if after - first = 1 && merged_start = run_start && merged_stop = run_stop
+      then s (* already covered *)
+      else begin
+        let out = Array.make (n - (after - first) + 1) sp in
+        Array.blit s 0 out 0 first;
+        out.(first) <- Span.v merged_start merged_stop;
+        Array.blit s after out (first + 1) (n - after);
+        out
+      end
+    end
+  end
 
-(* Two-pointer union over the already-sorted inputs. *)
+(* Two-pointer merge over the already-sorted inputs, coalescing on the
+   fly into an array of the maximal possible size. *)
 let union a b =
   if is_empty a then b
   else if is_empty b then a
   else begin
     let n = Array.length a and m = Array.length b in
-    let merged = ref [] in
+    let out = Array.make (n + m) a.(0) in
+    let k = ref 0 in
     let i = ref 0 and j = ref 0 in
-    while !i < n || !j < m do
-      let take_a =
-        !j >= m || (!i < n && Span.compare a.(!i) b.(!j) <= 0)
-      in
-      if take_a then begin
-        merged := a.(!i) :: !merged;
-        incr i
+    let next () =
+      if !j >= m || (!i < n && Span.compare a.(!i) b.(!j) <= 0) then begin
+        let s = a.(!i) in
+        incr i;
+        s
       end
       else begin
-        merged := b.(!j) :: !merged;
-        incr j
+        let s = b.(!j) in
+        incr j;
+        s
+      end
+    in
+    let s0 = next () in
+    let cur_start = ref (Span.start s0) in
+    let cur_stop = ref (Span.stop s0) in
+    while !i < n || !j < m do
+      let s = next () in
+      let s_start = Span.start s and s_stop = Span.stop s in
+      if s_start <= !cur_stop then begin
+        if s_stop > !cur_stop then cur_stop := s_stop
+      end
+      else begin
+        out.(!k) <- Span.v !cur_start !cur_stop;
+        incr k;
+        cur_start := s_start;
+        cur_stop := s_stop
       end
     done;
-    coalesce_sorted (List.rev !merged)
+    out.(!k) <- Span.v !cur_start !cur_stop;
+    incr k;
+    if !k = n + m then out else Array.sub out 0 !k
   end
 
+(* Intersections of canonical sets are canonical (pieces inherit the
+   inputs' gaps), so the two-pointer sweep writes the final result
+   directly.  Each step advances one pointer, so n + m slots suffice. *)
 let inter a b =
   let n = Array.length a and m = Array.length b in
-  let out = ref [] in
-  let i = ref 0 and j = ref 0 in
-  while !i < n && !j < m do
-    (match Span.inter a.(!i) b.(!j) with
-    | Some s -> out := s :: !out
-    | None -> ());
-    if Span.stop a.(!i) <= Span.stop b.(!j) then incr i else incr j
-  done;
-  Array.of_list (List.rev !out)
+  if n = 0 || m = 0 then empty
+  else begin
+    let out = Array.make (n + m) a.(0) in
+    let k = ref 0 in
+    let i = ref 0 and j = ref 0 in
+    while !i < n && !j < m do
+      let sa = a.(!i) and sb = b.(!j) in
+      let sa_start = Span.start sa and sa_stop = Span.stop sa in
+      let sb_start = Span.start sb and sb_stop = Span.stop sb in
+      let lo = max sa_start sb_start in
+      let hi = min sa_stop sb_stop in
+      if lo < hi then begin
+        out.(!k) <- Span.v lo hi;
+        incr k
+      end;
+      if sa_stop <= sb_stop then incr i else incr j
+    done;
+    if !k = 0 then empty else Array.sub out 0 !k
+  end
 
+(* Gap sweep: at most cardinal + 1 gaps fit inside [within]. *)
 let complement ~within s =
-  let clipped =
-    Array.to_list s |> List.filter_map (fun sp -> Span.inter within sp)
-  in
-  let out = ref [] in
-  let cursor = ref (Span.start within) in
-  let visit sp =
-    if Span.start sp > !cursor then
-      out := Span.v !cursor (Span.start sp) :: !out;
-    cursor := max !cursor (Span.stop sp)
-  in
-  List.iter visit clipped;
-  if !cursor < Span.stop within then out := Span.v !cursor (Span.stop within) :: !out;
-  Array.of_list (List.rev !out)
+  let n = Array.length s in
+  let w_start = Span.start within and w_stop = Span.stop within in
+  let out = Array.make (n + 1) within in
+  let k = ref 0 in
+  let cursor = ref w_start in
+  for i = 0 to n - 1 do
+    let sp = s.(i) in
+    let lo = max (Span.start sp) w_start in
+    let hi = min (Span.stop sp) w_stop in
+    if lo < hi then begin
+      if lo > !cursor then begin
+        out.(!k) <- Span.v !cursor lo;
+        incr k
+      end;
+      if hi > !cursor then cursor := hi
+    end
+  done;
+  if !cursor < w_stop then begin
+    out.(!k) <- Span.v !cursor w_stop;
+    incr k
+  end;
+  if !k = n + 1 then out else Array.sub out 0 !k
 
 let diff a b =
   match a with
@@ -115,14 +221,42 @@ let diff a b =
       inter a (complement ~within:whole b)
 
 let clip window s =
-  Array.to_list s
-  |> List.filter_map (fun sp -> Span.inter window sp)
-  |> Array.of_list
+  let n = Array.length s in
+  if n = 0 then empty
+  else begin
+    let w_start = Span.start window and w_stop = Span.stop window in
+    let out = Array.make n s.(0) in
+    let k = ref 0 in
+    for i = 0 to n - 1 do
+      let sp = s.(i) in
+      let lo = max (Span.start sp) w_start in
+      let hi = min (Span.stop sp) w_stop in
+      if lo < hi then begin
+        out.(!k) <- Span.v lo hi;
+        incr k
+      end
+    done;
+    if !k = n then out else Array.sub out 0 !k
+  end
 
 let hull s =
   if is_empty s then None else Some (Span.hull s.(0) s.(Array.length s - 1))
 
-let filter f s = Array.of_list (List.filter f (Array.to_list s))
+let filter f s =
+  let n = Array.length s in
+  if n = 0 then s
+  else begin
+    let out = Array.make n s.(0) in
+    let k = ref 0 in
+    for i = 0 to n - 1 do
+      if f s.(i) then begin
+        out.(!k) <- s.(i);
+        incr k
+      end
+    done;
+    if !k = n then s else Array.sub out 0 !k
+  end
+
 let longer_than d s = filter (fun sp -> Span.length sp > d) s
 let fold f s acc = Array.fold_left (fun acc sp -> f sp acc) acc s
 let iter f s = Array.iter f s

@@ -362,6 +362,44 @@ let test_consecutive_loss_detection () =
   Alcotest.(check bool) "episodes detected" true
     (cl.Detect_loss.episodes <> [])
 
+let test_analyze_all_jobs_deterministic () =
+  (* A mixed fleet merged into one capture: analyze_all must return
+     byte-identical results whatever the worker count, including the
+     audit diagnostics. *)
+  let routers =
+    List.init 6 (fun i ->
+        let id = i + 1 in
+        let timer_interval =
+          match id mod 3 with 0 -> None | 1 -> Some 200_000 | _ -> Some 100_000
+        in
+        let quota = match id mod 2 with 0 -> 6 | _ -> 15 in
+        Scenario.router ~table_prefixes:(1_000 + (300 * id)) ?timer_interval
+          ~quota id)
+  in
+  let result = Scenario.run ~seed:41 routers in
+  let trace =
+    Tdat_pkt.Trace.of_segments
+      (List.concat_map
+         (fun o -> Tdat_pkt.Trace.segments o.Scenario.trace)
+         result.Scenario.outcomes)
+  in
+  let digest results =
+    List.map
+      (fun (flow, a) ->
+        Format.asprintf "%a|%s|%a" Tdat_pkt.Flow.pp flow (Report.to_string a)
+          Tdat_audit.Diag.pp_report a.Analyzer.audit)
+      results
+  in
+  let seq = digest (Analyzer.analyze_all ~audit:true ~jobs:1 trace) in
+  Alcotest.(check int) "one analysis per session" 6 (List.length seq);
+  List.iter
+    (fun jobs ->
+      let par = digest (Analyzer.analyze_all ~audit:true ~jobs trace) in
+      Alcotest.(check (list string))
+        (Printf.sprintf "jobs=%d identical to jobs=1" jobs)
+        seq par)
+    [ 2; 4 ]
+
 let test_concurrent_transfers_shift_bottleneck () =
   (* Fig. 15's mechanism: more concurrent transfers push the receiving BGP
      process ratio up relative to few-transfer runs. *)
@@ -414,6 +452,8 @@ let suite =
     Alcotest.test_case "peer group detection" `Slow test_peer_group_detection;
     Alcotest.test_case "consecutive loss detection" `Quick
       test_consecutive_loss_detection;
+    Alcotest.test_case "analyze_all jobs-deterministic" `Slow
+      test_analyze_all_jobs_deterministic;
     Alcotest.test_case "concurrency shifts bottleneck" `Slow
       test_concurrent_transfers_shift_bottleneck;
   ]

@@ -9,6 +9,7 @@ let () =
       ("tcpsim", Test_tcpsim.suite);
       ("bgpsim", Test_bgpsim.suite);
       ("analyzer", Test_analyzer.suite);
+      ("parallel", Test_parallel.suite);
       ("detectors", Test_detectors.suite);
       ("fleet", Test_fleet.suite);
       ("properties", Test_properties.suite);

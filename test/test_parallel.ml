@@ -1,0 +1,114 @@
+(* The Domain worker pool behind fleet analysis: deterministic result
+   ordering, exception capture/re-raise, the jobs=1 degenerate case, and
+   pool reuse across batches. *)
+
+open Tdat_parallel
+
+(* Uneven, index-dependent busy work so completion order differs from
+   input order whenever the pool really runs concurrently. *)
+let lopsided i =
+  let acc = ref 0 in
+  for k = 0 to (i mod 7) * 2_000 do
+    acc := !acc + k
+  done;
+  (i * i) + (!acc * 0)
+
+let test_map_matches_sequential () =
+  let xs = List.init 500 Fun.id in
+  let expected = List.map lopsided xs in
+  List.iter
+    (fun jobs ->
+      Pool.with_pool ~jobs (fun pool ->
+          Alcotest.(check (list int))
+            (Printf.sprintf "jobs=%d equals List.map" jobs)
+            expected (Pool.map pool lopsided xs)))
+    [ 1; 2; 4; 8 ]
+
+let test_map_preserves_order_not_completion_order () =
+  (* Map to (index, value) pairs: ordering must follow input indices. *)
+  let xs = List.init 100 (fun i -> 99 - i) in
+  Pool.with_pool ~jobs:4 (fun pool ->
+      let out = Pool.map pool (fun x -> (x, lopsided x)) xs in
+      Alcotest.(check (list int)) "first components in input order" xs
+        (List.map fst out))
+
+exception Boom of int
+
+let test_exception_propagates () =
+  Pool.with_pool ~jobs:4 (fun pool ->
+      Alcotest.check_raises "exception re-raised in caller" (Boom 17)
+        (fun () ->
+          ignore
+            (Pool.map pool
+               (fun i -> if i = 17 then raise (Boom 17) else lopsided i)
+               (List.init 64 Fun.id)));
+      (* The pool survives a failed batch. *)
+      Alcotest.(check (list int)) "pool usable after failure" [ 2; 4; 6 ]
+        (Pool.map pool (fun i -> 2 * i) [ 1; 2; 3 ]))
+
+let test_exception_propagates_sequentially () =
+  Pool.with_pool ~jobs:1 (fun pool ->
+      Alcotest.check_raises "jobs=1 re-raises too" (Boom 3) (fun () ->
+          ignore
+            (Pool.map pool
+               (fun i -> if i = 3 then raise (Boom 3) else i)
+               [ 1; 2; 3; 4 ])))
+
+let test_degenerate_and_edges () =
+  Pool.with_pool ~jobs:1 (fun pool ->
+      Alcotest.(check int) "jobs=1 reported" 1 (Pool.jobs pool);
+      Alcotest.(check (list int)) "jobs=1 maps" [ 1; 4; 9 ]
+        (Pool.map pool (fun x -> x * x) [ 1; 2; 3 ]));
+  Pool.with_pool ~jobs:8 (fun pool ->
+      Alcotest.(check (list int)) "empty input" []
+        (Pool.map pool (fun x -> x) []);
+      Alcotest.(check (list string)) "singleton input" [ "a" ]
+        (Pool.map pool String.lowercase_ascii [ "A" ]);
+      Alcotest.(check (list int)) "more jobs than items" [ 0; 1; 2 ]
+        (Pool.map pool Fun.id [ 0; 1; 2 ]))
+
+let test_pool_reuse () =
+  Pool.with_pool ~jobs:3 (fun pool ->
+      for round = 1 to 5 do
+        let xs = List.init (20 * round) Fun.id in
+        Alcotest.(check (list int))
+          (Printf.sprintf "round %d" round)
+          (List.map lopsided xs)
+          (Pool.map pool lopsided xs)
+      done)
+
+let test_invalid_jobs_and_shutdown () =
+  Alcotest.check_raises "jobs=0 rejected"
+    (Invalid_argument "Pool.create: jobs (0) must be >= 1") (fun () ->
+      ignore (Pool.create ~jobs:0 ()));
+  let pool = Pool.create ~jobs:2 () in
+  Alcotest.(check (list int)) "works before shutdown" [ 1 ]
+    (Pool.map pool Fun.id [ 1 ]);
+  Pool.shutdown pool;
+  Pool.shutdown pool (* idempotent *);
+  Alcotest.check_raises "map after shutdown rejected"
+    (Invalid_argument "Pool.map: pool is shut down") (fun () ->
+      ignore (Pool.map pool Fun.id [ 1; 2 ]))
+
+let test_default_jobs_sane () =
+  let d = Pool.default_jobs () in
+  Alcotest.(check bool) "default >= 1" true (d >= 1);
+  Pool.with_pool (fun pool ->
+      Alcotest.(check int) "pool takes the default" d (Pool.jobs pool))
+
+let suite =
+  [
+    Alcotest.test_case "map matches sequential" `Quick
+      test_map_matches_sequential;
+    Alcotest.test_case "input order preserved" `Quick
+      test_map_preserves_order_not_completion_order;
+    Alcotest.test_case "exception propagation" `Quick test_exception_propagates;
+    Alcotest.test_case "exception propagation (jobs=1)" `Quick
+      test_exception_propagates_sequentially;
+    Alcotest.test_case "degenerate and edge inputs" `Quick
+      test_degenerate_and_edges;
+    Alcotest.test_case "pool reuse" `Quick test_pool_reuse;
+    Alcotest.test_case "invalid jobs / shutdown" `Quick
+      test_invalid_jobs_and_shutdown;
+    Alcotest.test_case "default jobs" `Quick test_default_jobs_sane;
+  ]

@@ -81,6 +81,45 @@ let test_trace_split () =
   let sub = Trace.split_connection t ~sender:ep1 ~receiver:ep2 in
   Alcotest.(check int) "split keeps both directions" 2 (Trace.length sub)
 
+let test_trace_partition () =
+  (* partition_connections must agree with connections + split_connection
+     — same keys, same first-appearance order, same sub-traces — while
+     scanning the trace only once. *)
+  let ep3 = Endpoint.of_quad 10 9 9 9 5000 in
+  let ep4 = Endpoint.of_quad 172 16 0 7 33000 in
+  let t =
+    Trace.of_segments
+      [
+        seg ~ts:1 ~src:ep1 ~dst:ep2 ~payload:"aa" ();
+        seg ~ts:2 ~src:ep3 ~dst:ep2 ~payload:"b" ();
+        seg ~ts:3 ~src:ep2 ~dst:ep1 ();
+        seg ~ts:4 ~src:ep4 ~dst:ep2 ~payload:"cccc" ();
+        seg ~ts:5 ~src:ep2 ~dst:ep3 ();
+        seg ~ts:6 ~src:ep1 ~dst:ep2 ~payload:"dd" ();
+      ]
+  in
+  let parts = Trace.partition_connections t in
+  Alcotest.(check int) "one bucket per connection" 3 (List.length parts);
+  Alcotest.(check bool) "keys in first-appearance order" true
+    (List.for_all2
+       (fun (a, b) (a', b') -> Endpoint.equal a a' && Endpoint.equal b b')
+       (Trace.connections t) (List.map fst parts));
+  List.iter
+    (fun ((a, b), sub) ->
+      let reference = Trace.split_connection t ~sender:a ~receiver:b in
+      Alcotest.(check int)
+        (Format.asprintf "bucket %a<->%a size" Endpoint.pp a Endpoint.pp b)
+        (Trace.length reference) (Trace.length sub);
+      Alcotest.(check bool) "same segments" true
+        (List.for_all2
+           (fun (x : Seg.t) (y : Seg.t) -> x = y)
+           (Trace.segments reference) (Trace.segments sub));
+      Alcotest.(check bool) "voids inherited" true
+        (Tdat_timerange.Span_set.equal (Trace.voids sub) (Trace.voids t)))
+    parts;
+  Alcotest.(check int) "empty trace partitions to nothing" 0
+    (List.length (Trace.partition_connections (Trace.of_segments [])))
+
 let test_pcap_roundtrip () =
   let segs =
     [
@@ -169,6 +208,7 @@ let suite =
     Alcotest.test_case "flow" `Quick test_flow;
     Alcotest.test_case "trace" `Quick test_trace;
     Alcotest.test_case "trace split" `Quick test_trace_split;
+    Alcotest.test_case "trace partition" `Quick test_trace_partition;
     Alcotest.test_case "pcap roundtrip" `Quick test_pcap_roundtrip;
     Alcotest.test_case "pcap garbage" `Quick test_pcap_rejects_garbage;
     Alcotest.test_case "pcap file io" `Quick test_pcap_file_io;

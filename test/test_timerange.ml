@@ -211,4 +211,95 @@ let qcheck_suite2 =
         && Series.cardinal m = Series.cardinal s1 + Series.cardinal s2);
   ]
 
-let suite = suite @ qcheck_suite2
+(* Model-based checks for the array kernels: each set operation is
+   compared against an obviously-correct list-based reference built from
+   of_spans (which only relies on sort + coalesce). *)
+
+let ref_union a b = Span_set.of_spans (Span_set.to_list a @ Span_set.to_list b)
+
+let ref_inter a b =
+  Span_set.of_spans
+    (List.concat_map
+       (fun x ->
+         List.filter_map (fun y -> Span.inter x y) (Span_set.to_list b))
+       (Span_set.to_list a))
+
+(* Subtract every span of [bs] from [sp], returning the surviving pieces. *)
+let rec cut sp bs =
+  match bs with
+  | [] -> [ sp ]
+  | b :: rest -> (
+      match Span.inter sp b with
+      | None -> cut sp rest
+      | Some _ ->
+          let left =
+            if Span.start sp < Span.start b then
+              [ Span.v (Span.start sp) (Span.start b) ]
+            else []
+          in
+          let right =
+            if Span.stop sp > Span.stop b then
+              [ Span.v (Span.stop b) (Span.stop sp) ]
+            else []
+          in
+          List.concat_map (fun piece -> cut piece rest) (left @ right))
+
+let ref_diff a b =
+  Span_set.of_spans
+    (List.concat_map (fun sp -> cut sp (Span_set.to_list b)) (Span_set.to_list a))
+
+let canonical s =
+  let rec ok = function
+    | x :: (y :: _ as rest) ->
+        Span.start x < Span.stop x
+        && Span.stop x < Span.start y (* disjoint AND non-adjacent *)
+        && ok rest
+    | [ x ] -> Span.start x < Span.stop x
+    | [] -> true
+  in
+  ok (Span_set.to_list s)
+
+let arb_span =
+  QCheck.make
+    ~print:(fun s -> Format.asprintf "%a" Span.pp s)
+    QCheck.Gen.(
+      map2
+        (fun start len -> Span.v start (start + 1 + len))
+        (int_bound 1000) (int_bound 80))
+
+let kernel_model_suite =
+  [
+    prop "union matches reference model" (QCheck.pair arb_set arb_set)
+      (fun (a, b) -> Span_set.equal (Span_set.union a b) (ref_union a b));
+    prop "inter matches reference model" (QCheck.pair arb_set arb_set)
+      (fun (a, b) -> Span_set.equal (Span_set.inter a b) (ref_inter a b));
+    prop "diff matches reference model" (QCheck.pair arb_set arb_set)
+      (fun (a, b) -> Span_set.equal (Span_set.diff a b) (ref_diff a b));
+    prop "add sp = union of singleton" (QCheck.pair arb_span arb_set)
+      (fun (sp, s) ->
+        Span_set.equal (Span_set.add sp s)
+          (Span_set.union (Span_set.of_span sp) s));
+    prop "clip = inter with singleton window" (QCheck.pair arb_span arb_set)
+      (fun (w, s) ->
+        Span_set.equal (Span_set.clip w s)
+          (Span_set.inter (Span_set.of_span w) s));
+    prop "complement membership flips inside the window"
+      (QCheck.pair arb_set QCheck.small_nat) (fun (a, t) ->
+        let within = Span.v (-10) 1200 in
+        let c = Span_set.complement ~within a in
+        (not (Span.contains within t)) || Span_set.mem t c <> Span_set.mem t a);
+    prop "filter keeps exactly the matching spans" arb_set (fun a ->
+        let pred sp = Span.length sp > 20 in
+        Span_set.equal (Span_set.filter pred a)
+          (Span_set.of_spans (List.filter pred (Span_set.to_list a))));
+    prop "kernel outputs are canonical"
+      (QCheck.triple arb_span arb_set arb_set) (fun (sp, a, b) ->
+        canonical (Span_set.union a b)
+        && canonical (Span_set.inter a b)
+        && canonical (Span_set.diff a b)
+        && canonical (Span_set.add sp a)
+        && canonical (Span_set.clip sp a)
+        && canonical (Span_set.complement ~within:(Span.v (-10) 1200) a));
+  ]
+
+let suite = suite @ qcheck_suite2 @ kernel_model_suite
