@@ -4,45 +4,72 @@
 
 open Cmdliner
 
-let convert pcap_path out_path peer_as local_as =
-  let trace = Tdat_pkt.Pcap.of_file pcap_path in
-  let connections = Tdat_pkt.Trace.connections trace in
-  if connections = [] then begin
-    prerr_endline "no TCP connections found";
-    1
-  end
-  else begin
-    let records =
-      List.concat_map
-        (fun key ->
-          let flow = Tdat_pkt.Trace.infer_sender trace key in
-          let sub =
-            Tdat_pkt.Trace.split_connection trace
-              ~sender:flow.Tdat_pkt.Flow.sender
-              ~receiver:flow.Tdat_pkt.Flow.receiver
-          in
-          Tdat_bgp.Msg_reader.extract_from_trace sub ~flow
-          |> List.map (fun (m : Tdat_bgp.Msg_reader.timed_msg) ->
-                 {
-                   Tdat_bgp.Mrt.ts = m.Tdat_bgp.Msg_reader.ts;
-                   peer_as;
-                   local_as;
-                   peer_ip = flow.Tdat_pkt.Flow.sender.Tdat_pkt.Endpoint.ip;
-                   local_ip = flow.Tdat_pkt.Flow.receiver.Tdat_pkt.Endpoint.ip;
-                   msg = m.Tdat_bgp.Msg_reader.msg;
-                 }))
-        connections
-    in
-    let records =
-      List.sort (fun a b ->
-          Tdat_timerange.Time_us.compare a.Tdat_bgp.Mrt.ts b.Tdat_bgp.Mrt.ts)
-        records
-    in
-    Tdat_bgp.Mrt.to_file out_path records;
-    Printf.printf "%d BGP messages from %d connection(s) -> %s\n"
-      (List.length records) (List.length connections) out_path;
-    0
-  end
+(* Report the fault-tolerant reader's findings; [false] when the file is
+   not a usable pcap at all (error-severity diagnostics). *)
+let report_capture (r : Tdat_pkt.Pcap.result) =
+  let open Tdat_pkt.Pcap in
+  List.iter
+    (fun (d : Diag.t) ->
+      match d.Diag.severity with
+      | Diag.Error | Diag.Warning ->
+          Format.eprintf "pcap2bgp: pcap: %a@." Diag.pp d
+      | Diag.Info -> ())
+    r.diags;
+  if r.diags <> [] then
+    Format.eprintf
+      "pcap2bgp: pcap: salvaged %d segment(s) from %d record(s) (%d skipped, \
+       %d snaplen-clipped)@."
+      r.stats.decoded r.stats.records r.stats.skipped r.stats.clipped;
+  not (List.exists Diag.is_error r.diags)
+
+let extract trace connections out_path peer_as local_as =
+  let records =
+    List.concat_map
+      (fun key ->
+        let flow = Tdat_pkt.Trace.infer_sender trace key in
+        let sub =
+          Tdat_pkt.Trace.split_connection trace
+            ~sender:flow.Tdat_pkt.Flow.sender
+            ~receiver:flow.Tdat_pkt.Flow.receiver
+        in
+        Tdat_bgp.Msg_reader.extract_from_trace sub ~flow
+        |> List.map (fun (m : Tdat_bgp.Msg_reader.timed_msg) ->
+               {
+                 Tdat_bgp.Mrt.ts = m.Tdat_bgp.Msg_reader.ts;
+                 peer_as;
+                 local_as;
+                 peer_ip = flow.Tdat_pkt.Flow.sender.Tdat_pkt.Endpoint.ip;
+                 local_ip = flow.Tdat_pkt.Flow.receiver.Tdat_pkt.Endpoint.ip;
+                 msg = m.Tdat_bgp.Msg_reader.msg;
+               }))
+      connections
+  in
+  let records =
+    List.sort (fun a b ->
+        Tdat_timerange.Time_us.compare a.Tdat_bgp.Mrt.ts b.Tdat_bgp.Mrt.ts)
+      records
+  in
+  Tdat_bgp.Mrt.to_file out_path records;
+  Printf.printf "%d BGP messages from %d connection(s) -> %s\n"
+    (List.length records) (List.length connections) out_path;
+  0
+
+let convert pcap_path out_path peer_as local_as strict =
+  match Tdat_pkt.Pcap.read_file ~strict pcap_path with
+  | exception Tdat_pkt.Pcap.Decode_error msg ->
+      Printf.eprintf "pcap2bgp: %s\n" msg;
+      2
+  | r ->
+      if not (report_capture r) then 2
+      else begin
+        let trace = r.Tdat_pkt.Pcap.trace in
+        let connections = Tdat_pkt.Trace.connections trace in
+        if connections = [] then begin
+          prerr_endline "no TCP connections found";
+          1
+        end
+        else extract trace connections out_path peer_as local_as
+      end
 
 let pcap_arg =
   Arg.(required & pos 0 (some file) None
@@ -60,10 +87,19 @@ let local_as_arg =
   Arg.(value & opt int 65000
        & info [ "local-as" ] ~doc:"Local AS recorded in the MRT headers.")
 
+let strict_arg =
+  let doc =
+    "Fail (exit 2) on the first malformed pcap structure instead of \
+     salvaging the decodable records with $(b,P0xx) warnings."
+  in
+  Arg.(value & flag & info [ "strict" ] ~doc)
+
 let cmd =
   let doc = "extract BGP messages from a TCP packet trace into MRT" in
   Cmd.v
     (Cmd.info "pcap2bgp" ~version:"1.0.0" ~doc)
-    Term.(const convert $ pcap_arg $ out_arg $ peer_as_arg $ local_as_arg)
+    Term.(
+      const convert $ pcap_arg $ out_arg $ peer_as_arg $ local_as_arg
+      $ strict_arg)
 
 let () = exit (Cmd.eval' cmd)

@@ -4,15 +4,39 @@
 
 open Cmdliner
 
-let load pcap_path mrt_path sender_side =
-  let trace = Tdat_pkt.Pcap.of_file pcap_path in
-  let mrt = Option.map Tdat_bgp.Mrt.of_file mrt_path in
-  let config =
-    if sender_side then
-      { Tdat.Series_gen.default_config with sniffer_location = `Near_sender }
-    else Tdat.Series_gen.default_config
+(* Report what the fault-tolerant reader had to do: warnings and errors
+   individually, plus a one-line salvage summary.  Errors (the file is
+   not a usable pcap at all) abort with a user-error exit. *)
+let report_capture r =
+  let open Tdat_pkt.Pcap in
+  let problems =
+    List.filter
+      (fun (d : Diag.t) ->
+        match d.Diag.severity with
+        | Diag.Error | Diag.Warning -> true
+        | Diag.Info -> false)
+      r.diags
   in
-  (trace, mrt, config)
+  List.iter (fun d -> Format.eprintf "tdat: pcap: %a@." Diag.pp d) problems;
+  if r.diags <> [] then
+    Format.eprintf
+      "tdat: pcap: salvaged %d segment(s) from %d record(s) (%d skipped, %d \
+       snaplen-clipped)@."
+      r.stats.decoded r.stats.records r.stats.skipped r.stats.clipped;
+  not (List.exists Diag.is_error r.diags)
+
+let load ~strict pcap_path mrt_path sender_side =
+  let r = Tdat_pkt.Pcap.read_file ~strict pcap_path in
+  if not (report_capture r) then None
+  else begin
+    let mrt = Option.map Tdat_bgp.Mrt.of_file mrt_path in
+    let config =
+      if sender_side then
+        { Tdat.Series_gen.default_config with sniffer_location = `Near_sender }
+      else Tdat.Series_gen.default_config
+    in
+    Some (r, mrt, config)
+  end
 
 (* Malformed input is a user error (exit 2), not an internal error. *)
 let with_decode_errors f =
@@ -25,40 +49,57 @@ let with_decode_errors f =
       Printf.eprintf "tdat: %s: %s\n" context message;
       2
 
-let analyze_file pcap_path mrt_path show_series sender_side jobs =
+let analyze_file pcap_path mrt_path show_series sender_side jobs strict =
   with_decode_errors @@ fun () ->
-  let trace, mrt, config = load pcap_path mrt_path sender_side in
-  let results = Tdat.Analyzer.analyze_all ~config ?mrt ~jobs trace in
-  if results = [] then prerr_endline "no TCP connections found in trace";
-  List.iter
-    (fun (_, a) ->
-      print_endline (Tdat.Report.to_string a);
-      if show_series then begin
-        print_endline "-- event series --";
-        print_string (Tdat.Report.series_timeline a.Tdat.Analyzer.series)
-      end;
-      print_newline ())
-    results;
-  0
+  match load ~strict pcap_path mrt_path sender_side with
+  | None -> 2
+  | Some (r, mrt, config) ->
+      let results =
+        Tdat.Analyzer.analyze_all ~config ?mrt ~jobs r.Tdat_pkt.Pcap.trace
+      in
+      if results = [] then prerr_endline "no TCP connections found in trace";
+      List.iter
+        (fun (_, a) ->
+          print_endline (Tdat.Report.to_string a);
+          if show_series then begin
+            print_endline "-- event series --";
+            print_string (Tdat.Report.series_timeline a.Tdat.Analyzer.series)
+          end;
+          print_newline ())
+        results;
+      0
 
-let check_file pcap_path mrt_path sender_side jobs =
+let check_file pcap_path mrt_path sender_side jobs strict =
   with_decode_errors @@ fun () ->
-  let trace, mrt, config = load pcap_path mrt_path sender_side in
-  let results = Tdat.Analyzer.analyze_all ~config ?mrt ~audit:true ~jobs trace in
-  if results = [] then prerr_endline "no TCP connections found in trace";
-  let failed =
-    List.fold_left
-      (fun failed (flow, a) ->
-        let diags = a.Tdat.Analyzer.audit in
-        Format.printf "%a: %s@." Tdat_pkt.Flow.pp flow
-          (if diags = [] then "ok"
-           else
-             Printf.sprintf "%d finding(s)" (List.length diags));
-        if diags <> [] then Format.printf "%a@." Tdat_audit.Diag.pp_report diags;
-        failed || Tdat_audit.Diag.errors diags <> [])
-      false results
-  in
-  if failed then 1 else 0
+  match load ~strict pcap_path mrt_path sender_side with
+  | None -> 2
+  | Some (r, mrt, config) ->
+      let ingest = Tdat_audit.Ingest.of_result r in
+      Format.printf "capture: %s@."
+        (if ingest = [] then "ok"
+         else Printf.sprintf "%d finding(s)" (List.length ingest));
+      if ingest <> [] then
+        Format.printf "%a@." Tdat_audit.Diag.pp_report ingest;
+      let results =
+        Tdat.Analyzer.analyze_all ~config ?mrt ~audit:true ~jobs
+          r.Tdat_pkt.Pcap.trace
+      in
+      if results = [] then prerr_endline "no TCP connections found in trace";
+      let failed =
+        List.fold_left
+          (fun failed (flow, a) ->
+            let diags = a.Tdat.Analyzer.audit in
+            Format.printf "%a: %s@." Tdat_pkt.Flow.pp flow
+              (if diags = [] then "ok"
+               else
+                 Printf.sprintf "%d finding(s)" (List.length diags));
+            if diags <> [] then
+              Format.printf "%a@." Tdat_audit.Diag.pp_report diags;
+            failed || Tdat_audit.Diag.errors diags <> [])
+          (Tdat_audit.Diag.errors ingest <> [])
+          results
+      in
+      if failed then 1 else 0
 
 let pcap_arg =
   let doc = "Packet trace to analyze (libpcap format, Ethernet/IPv4/TCP)." in
@@ -94,12 +135,22 @@ let jobs_arg =
     & opt int (Tdat_parallel.Pool.default_jobs ())
     & info [ "j"; "jobs" ] ~docv:"N" ~doc)
 
+let strict_arg =
+  let doc =
+    "Fail (exit 2) on the first malformed pcap structure instead of \
+     salvaging the decodable records with $(b,P0xx) warnings.  See \
+     DESIGN.md, \"Ingestion robustness\"."
+  in
+  Arg.(value & flag & info [ "strict" ] ~doc)
+
 let clamp_jobs n = if n < 1 then 1 else n
 
 let analyze_term =
   Term.(
-    const (fun p m s side j -> analyze_file p m s side (clamp_jobs j))
-    $ pcap_arg $ mrt_arg $ series_arg $ sender_side_arg $ jobs_arg)
+    const (fun p m s side j strict ->
+        analyze_file p m s side (clamp_jobs j) strict)
+    $ pcap_arg $ mrt_arg $ series_arg $ sender_side_arg $ jobs_arg
+    $ strict_arg)
 
 let analyze_cmd =
   let doc = "Explain where each table transfer's time went (default)" in
@@ -128,16 +179,18 @@ let check_cmd =
          and reports every invariant violation: non-canonical span sets \
          (A001), non-monotone traces (A002), seq/ack insanity (A003), \
          ACK-shift conservation failures (A004) and out-of-range factor \
-         accounting (A005).  Exits non-zero when any error-severity \
-         finding is produced.  See DESIGN.md, \"Static analysis & \
-         auditing\".";
+         accounting (A005), preceded by the capture-ingestion findings \
+         (P0xx: malformed records, truncation, snaplen clipping).  Exits \
+         non-zero when any error-severity finding is produced.  See \
+         DESIGN.md, \"Static analysis & auditing\" and \"Ingestion \
+         robustness\".";
     ]
   in
   Cmd.v
     (Cmd.info "check" ~doc ~man)
     Term.(
-      const (fun p m side j -> check_file p m side (clamp_jobs j))
-      $ pcap_arg $ mrt_arg $ sender_side_arg $ jobs_arg)
+      const (fun p m side j strict -> check_file p m side (clamp_jobs j) strict)
+      $ pcap_arg $ mrt_arg $ sender_side_arg $ jobs_arg $ strict_arg)
 
 let cmd =
   let doc = "TCP delay analysis for BGP table transfers (T-DAT)" in

@@ -1,0 +1,22 @@
+open Tdat_pkt
+
+let severity_of = function
+  | Pcap.Diag.Error -> Diag.Error
+  | Pcap.Diag.Warning -> Diag.Warning
+  | Pcap.Diag.Info -> Diag.Info
+
+let of_pcap (d : Pcap.Diag.t) =
+  let subject =
+    match d.Pcap.Diag.record with
+    | Some i -> Printf.sprintf "pcap record %d" i
+    | None -> "pcap"
+  in
+  {
+    Diag.code = d.Pcap.Diag.code;
+    severity = severity_of d.Pcap.Diag.severity;
+    subject;
+    message = d.Pcap.Diag.message;
+    where = None;
+  }
+
+let of_result (r : Pcap.result) = List.map of_pcap r.Pcap.diags

@@ -1,0 +1,13 @@
+(** Lifting pcap ingestion diagnostics into the audit report shape.
+
+    The pcap reader emits typed [P0xx] diagnostics ([Tdat_pkt.Pcap.Diag])
+    but cannot depend on this library; this module converts them to
+    {!Diag.t} so [tdat check] presents one unified finding list covering
+    both the capture-parsing boundary and the analysis invariants.
+    DESIGN.md ("Ingestion robustness") documents the code table. *)
+
+val of_pcap : Tdat_pkt.Pcap.Diag.t -> Diag.t
+(** Severity and code are preserved; the record index becomes the
+    subject (["pcap record 12"]). *)
+
+val of_result : Tdat_pkt.Pcap.result -> Diag.t list

@@ -49,19 +49,18 @@ let feed t (seg : Tdat_pkt.Tcp_segment.t) =
     let lo = seg.seq and hi = seg.seq + seg.len in
     if lo < 0 then invalid_arg "Stream_reassembly.feed: negative offset";
     ensure_capacity t hi;
-    (* A retransmission may carry different (zero-filled) payload; first
-       write wins so reconstructed bytes match the original stream. *)
-    let payload =
-      if seg.payload = "" then String.make seg.len '\000' else seg.payload
-    in
     let received, overlap = insert_interval t.received lo hi in
     (* Only blit the genuinely new part when the segment is entirely new
        or extends past what we had; overlapping rewrites with identical
        content are harmless, so blit unconditionally for simplicity —
        except where it would overwrite already-delivered bytes with a
        spurious differing retransmission; traces from this repo always
-       retransmit identical bytes. *)
-    Bytes.blit_string payload 0 t.data lo seg.len;
+       retransmit identical bytes.  A payload shorter than [len] (not
+       materialized, or snaplen-clipped by the sniffer) is zero-filled to
+       the declared length so stream offsets stay exact. *)
+    let copy = min (String.length seg.payload) seg.len in
+    if copy > 0 then Bytes.blit_string seg.payload 0 t.data lo copy;
+    if copy < seg.len then Bytes.fill t.data (lo + copy) (seg.len - copy) '\000';
     t.received <- received;
     t.duplicate_bytes <- t.duplicate_bytes + overlap;
     (* Advance the contiguous frontier. *)

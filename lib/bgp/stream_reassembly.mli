@@ -14,7 +14,9 @@ val create : unit -> t
 
 val feed : t -> Tdat_pkt.Tcp_segment.t -> unit
 (** Feed a data segment (non-data segments are ignored).  Stream offsets
-    come from [seq]; the stream starts at offset 0. *)
+    come from [seq]; the stream starts at offset 0.  A payload shorter
+    than the segment's declared [len] (snaplen-truncated capture, or not
+    materialized) is zero-filled to [len], keeping offsets exact. *)
 
 val of_segments : Tdat_pkt.Tcp_segment.t list -> t
 

@@ -4,16 +4,82 @@ let magic_ns = 0xA1B23C4Dl
 let ethernet_header_len = 14
 let ipv4_header_len = 20
 
-(* --- encoding ------------------------------------------------------- *)
+(* Records claiming more captured bytes than this are treated as corrupt
+   framing: no sane snaplen reaches 64 MB, and trusting a garbage length
+   would make the reader allocate (and mis-skip) gigabytes. *)
+let max_record_len = 0x0400_0000
+
+exception Decode_error of string
+exception Encode_error of string
+
+(* --- diagnostics ----------------------------------------------------- *)
+
+module Diag = struct
+  type severity = Error | Warning | Info
+
+  type t = {
+    code : string;
+    severity : severity;
+    record : int option;
+    message : string;
+  }
+
+  let make severity ?record ~code fmt =
+    Format.kasprintf (fun message -> { code; severity; record; message }) fmt
+
+  let error ?record ~code fmt = make Error ?record ~code fmt
+  let warning ?record ~code fmt = make Warning ?record ~code fmt
+  let info ?record ~code fmt = make Info ?record ~code fmt
+
+  let severity_name = function
+    | Error -> "error"
+    | Warning -> "warning"
+    | Info -> "info"
+
+  let is_error d = match d.severity with Error -> true | Warning | Info -> false
+
+  (* Errors and warnings abort a strict decode; infos never do. *)
+  let is_problem d =
+    match d.severity with Error | Warning -> true | Info -> false
+
+  let pp ppf d =
+    match d.record with
+    | Some i ->
+        Format.fprintf ppf "%s %s [record %d] %s" d.code
+          (severity_name d.severity) i d.message
+    | None ->
+        Format.fprintf ppf "%s %s %s" d.code (severity_name d.severity)
+          d.message
+end
+
+(* --- encoding --------------------------------------------------------- *)
 
 let encode_packet buf (s : Tcp_segment.t) =
+  if s.ts < 0 then
+    raise (Encode_error (Printf.sprintf "Pcap.encode: negative timestamp %d" s.ts));
+  let ts_sec = s.ts / 1_000_000 in
+  if ts_sec > 0xFFFF_FFFF then
+    raise
+      (Encode_error
+         (Printf.sprintf
+            "Pcap.encode: timestamp %d overflows pcap's unsigned 32-bit \
+             seconds"
+            s.ts));
   let tcp_options_len = if s.mss_opt <> None then 4 else 0 in
   let tcp_header_len = 20 + tcp_options_len in
   let ip_total = ipv4_header_len + tcp_header_len + s.len in
+  if ip_total > 0xFFFF then
+    raise
+      (Encode_error
+         (Printf.sprintf
+            "Pcap.encode: segment length %d overflows the IPv4 total length"
+            s.len));
   let frame_len = ethernet_header_len + ip_total in
-  (* pcap record header (little endian) *)
+  (* pcap record header (little endian).  [Int32.of_int] keeps the low 32
+     bits, so seconds in [2^31, 2^32) — post-2038 timestamps — retain
+     their unsigned on-disk encoding. *)
   let hdr = Bytes.create 16 in
-  Bytes.set_int32_le hdr 0 (Int32.of_int (s.ts / 1_000_000));
+  Bytes.set_int32_le hdr 0 (Int32.of_int ts_sec);
   Bytes.set_int32_le hdr 4 (Int32.of_int (s.ts mod 1_000_000));
   Bytes.set_int32_le hdr 8 (Int32.of_int frame_len);
   Bytes.set_int32_le hdr 12 (Int32.of_int frame_len);
@@ -52,10 +118,11 @@ let encode_packet buf (s : Tcp_segment.t) =
       Bytes.set_uint8 frame (tcp + 21) 4;
       Bytes.set_uint16_be frame (tcp + 22) mss
   | None -> ());
-  (* Payload. If the segment's payload was not materialized, synthesize
-     zero bytes of the declared length so stream offsets stay exact. *)
-  if s.payload <> "" then
-    Bytes.blit_string s.payload 0 frame (tcp + tcp_header_len) s.len;
+  (* Payload.  A payload shorter than [len] (not materialized, or clipped
+     by the capture snaplen) is zero-filled to the declared length so
+     stream offsets stay exact. *)
+  let pl = min (String.length s.payload) s.len in
+  if pl > 0 then Bytes.blit_string s.payload 0 frame (tcp + tcp_header_len) pl;
   Buffer.add_bytes buf frame
 
 let encode trace =
@@ -72,127 +139,321 @@ let encode trace =
   List.iter (encode_packet buf) (Trace.segments trace);
   Buffer.contents buf
 
-(* --- decoding ------------------------------------------------------- *)
+(* --- decoding --------------------------------------------------------- *)
 
 type endianness = Le | Be
 
-let read_u16 e s off =
-  match e with
-  | Le -> Char.code s.[off] lor (Char.code s.[off + 1] lsl 8)
-  | Be -> (Char.code s.[off] lsl 8) lor Char.code s.[off + 1]
+let get_u8 b off = Char.code (Bytes.get b off)
 
-let read_u32 e s off =
+let get_u16 e b off =
+  match e with
+  | Le -> get_u8 b off lor (get_u8 b (off + 1) lsl 8)
+  | Be -> (get_u8 b off lsl 8) lor get_u8 b (off + 1)
+
+let get_u32 e b off =
   match e with
   | Le ->
-      Char.code s.[off]
-      lor (Char.code s.[off + 1] lsl 8)
-      lor (Char.code s.[off + 2] lsl 16)
-      lor (Char.code s.[off + 3] lsl 24)
+      get_u8 b off
+      lor (get_u8 b (off + 1) lsl 8)
+      lor (get_u8 b (off + 2) lsl 16)
+      lor (get_u8 b (off + 3) lsl 24)
   | Be ->
-      (Char.code s.[off] lsl 24)
-      lor (Char.code s.[off + 1] lsl 16)
-      lor (Char.code s.[off + 2] lsl 8)
-      lor Char.code s.[off + 3]
+      (get_u8 b off lsl 24)
+      lor (get_u8 b (off + 1) lsl 16)
+      lor (get_u8 b (off + 2) lsl 8)
+      lor get_u8 b (off + 3)
 
-exception Decode_error of string
+type stats = { records : int; decoded : int; skipped : int; clipped : int }
 
-let fail msg = raise (Decode_error ("Pcap.decode: " ^ msg))
+type result = { trace : Trace.t; diags : Diag.t list; stats : stats }
 
-let decode data =
-  if String.length data < 24 then fail "truncated header";
-  let raw_magic = read_u32 Le data 0 in
-  let endian, ns =
-    if Int32.of_int raw_magic = magic_us then (Le, false)
-    else if Int32.of_int raw_magic = magic_ns then (Le, true)
-    else begin
-      let be_magic = read_u32 Be data 0 in
-      if Int32.of_int be_magic = magic_us then (Be, false)
-      else if Int32.of_int be_magic = magic_ns then (Be, true)
-      else fail "bad magic"
-    end
+(* Internal: abandon the current record (after emitting its diagnostic). *)
+exception Skip_record
+
+(* Internal: salvage mode stops reading; everything decoded so far is
+   kept. *)
+exception Stop_reading
+
+(* Decode one captured frame ([incl] valid bytes of [frame]) into a TCP
+   segment.  The frame is parsed snaplen-correctly: the segment's [len]
+   comes from the declared IP/TCP header lengths, the payload keeps only
+   the captured bytes (possibly fewer than [len]). *)
+let decode_frame ~emit ~clipped ~ri ~ts frame incl =
+  let skip d =
+    emit d;
+    raise_notrace Skip_record
   in
-  let link_type = read_u32 endian data 20 in
-  if link_type <> 1 then fail "unsupported link type";
-  let len = String.length data in
-  let segs = ref [] in
-  let pos = ref 24 in
-  while !pos + 16 <= len do
-    let ts_sec = read_u32 endian data !pos in
-    let ts_sub = read_u32 endian data (!pos + 4) in
-    let incl = read_u32 endian data (!pos + 8) in
-    let frame_off = !pos + 16 in
-    if frame_off + incl > len then fail "truncated packet";
-    let ts_us = if ns then ts_sub / 1000 else ts_sub in
-    let ts = (ts_sec * 1_000_000) + ts_us in
-    (* Parse Ethernet / IPv4 / TCP; skip anything else. *)
-    (if incl >= ethernet_header_len + ipv4_header_len + 20 then begin
-       let ethertype = read_u16 Be data (frame_off + 12) in
-       if ethertype = 0x0800 then begin
-         let ip = frame_off + ethernet_header_len in
-         let ihl = (Char.code data.[ip] land 0x0F) * 4 in
-         let proto = Char.code data.[ip + 9] in
-         let ip_total = read_u16 Be data (ip + 2) in
-         if proto = 6 then begin
-           let src_ip = Int32.of_int (read_u32 Be data (ip + 12)) in
-           let dst_ip = Int32.of_int (read_u32 Be data (ip + 16)) in
-           let tcp = ip + ihl in
-           let src_port = read_u16 Be data tcp in
-           let dst_port = read_u16 Be data (tcp + 2) in
-           let seq = read_u32 Be data (tcp + 4) in
-           let ack = read_u32 Be data (tcp + 8) in
-           let doff = (Char.code data.[tcp + 12] lsr 4) * 4 in
-           let fl = Char.code data.[tcp + 13] in
-           let window = read_u16 Be data (tcp + 14) in
-           let payload_off = tcp + doff in
-           let payload_len = ip_total - ihl - doff in
-           let payload_len =
-             max 0 (min payload_len (frame_off + incl - payload_off))
-           in
-           let payload = String.sub data payload_off payload_len in
-           (* MSS option scan *)
-           let mss_opt = ref None in
-           let o = ref (tcp + 20) in
-           (try
-              while !o < tcp + doff do
-                match Char.code data.[!o] with
-                | 0 -> raise Exit
-                | 1 -> incr o
-                | 2 ->
-                    mss_opt := Some (read_u16 Be data (!o + 2));
-                    o := !o + 4
-                | _ ->
-                    let olen = Char.code data.[!o + 1] in
-                    if olen < 2 then raise Exit;
-                    o := !o + olen
-              done
-            with Exit -> ());
-           let flags =
-             Tcp_segment.flags ~fin:(fl land 0x01 <> 0)
-               ~syn:(fl land 0x02 <> 0) ~rst:(fl land 0x04 <> 0)
-               ~psh:(fl land 0x08 <> 0) ~ack:(fl land 0x10 <> 0) ()
-           in
-           let seg =
-             Tcp_segment.v ~ts
-               ~src:(Endpoint.v src_ip src_port)
-               ~dst:(Endpoint.v dst_ip dst_port)
-               ~seq ~ack ~window ~flags ?mss_opt:!mss_opt ~payload ()
-           in
-           segs := seg :: !segs
+  try
+    if incl < ethernet_header_len then
+      skip (Diag.info ~record:ri ~code:"P009" "runt frame (%d captured bytes)" incl);
+    let ethertype = get_u16 Be frame 12 in
+    let l2, ethertype =
+      if ethertype = 0x8100 then begin
+        if incl < ethernet_header_len + 4 then
+          skip (Diag.info ~record:ri ~code:"P009" "runt 802.1Q frame");
+        emit (Diag.info ~record:ri ~code:"P010" "802.1Q VLAN-tagged frame");
+        (ethernet_header_len + 4, get_u16 Be frame 16)
+      end
+      else (ethernet_header_len, ethertype)
+    in
+    if ethertype <> 0x0800 then
+      skip
+        (Diag.info ~record:ri ~code:"P009" "non-IPv4 frame (ethertype 0x%04x)"
+           ethertype);
+    if l2 + ipv4_header_len > incl then
+      skip
+        (Diag.warning ~record:ri ~code:"P006"
+           "capture ends inside the IPv4 header");
+    let vihl = get_u8 frame l2 in
+    if vihl lsr 4 <> 4 then
+      skip (Diag.warning ~record:ri ~code:"P006" "IP version %d" (vihl lsr 4));
+    let ihl = (vihl land 0x0F) * 4 in
+    if ihl < ipv4_header_len then
+      skip (Diag.warning ~record:ri ~code:"P006" "bad IHL %d" ihl);
+    let proto = get_u8 frame (l2 + 9) in
+    if proto <> 6 then raise_notrace Skip_record (* non-TCP traffic *);
+    let ip_total = get_u16 Be frame (l2 + 2) in
+    let tcp = l2 + ihl in
+    if tcp + 20 > incl then
+      skip
+        (Diag.warning ~record:ri ~code:"P007"
+           "capture ends inside the TCP header");
+    let doff = (get_u8 frame (tcp + 12) lsr 4) * 4 in
+    if doff < 20 then
+      skip (Diag.warning ~record:ri ~code:"P007" "bad TCP data offset %d" doff);
+    if ihl + doff > ip_total then
+      skip
+        (Diag.warning ~record:ri ~code:"P007"
+           "TCP data offset overruns the IP datagram (IHL %d + offset %d > \
+            total %d)"
+           ihl doff ip_total);
+    (* Snaplen-correct length: trust the declared header lengths, keep
+       whatever payload bytes the sniffer captured. *)
+    let len = ip_total - ihl - doff in
+    let payload_off = tcp + doff in
+    let captured = max 0 (min len (incl - payload_off)) in
+    if captured < len then incr clipped;
+    let payload =
+      if captured = 0 then "" else Bytes.sub_string frame payload_off captured
+    in
+    (* Option scan, bounded by both the declared header end and the
+       captured bytes: clipped options end the scan silently, options
+       that overrun their own header are malformed (P008). *)
+    let mss_opt = ref None in
+    let hdr_end = tcp + doff in
+    let limit = min hdr_end incl in
+    let rec scan o =
+      if o < limit then
+        match get_u8 frame o with
+        | 0 -> () (* end of options *)
+        | 1 -> scan (o + 1) (* no-op padding *)
+        | kind ->
+            if o + 2 > limit then begin
+              if limit >= hdr_end then
+                emit
+                  (Diag.warning ~record:ri ~code:"P008"
+                     "TCP option %d overruns the header" kind)
+            end
+            else begin
+              let olen = get_u8 frame (o + 1) in
+              if olen < 2 then
+                emit
+                  (Diag.warning ~record:ri ~code:"P008"
+                     "TCP option %d has bad length %d" kind olen)
+              else if o + olen > hdr_end then
+                emit
+                  (Diag.warning ~record:ri ~code:"P008"
+                     "TCP option %d (length %d) overruns the header" kind olen)
+              else if o + olen > limit then () (* snaplen-clipped options *)
+              else begin
+                if kind = 2 && olen = 4 then
+                  mss_opt := Some (get_u16 Be frame (o + 2));
+                scan (o + olen)
+              end
+            end
+    in
+    scan (tcp + 20);
+    let src_ip = Int32.of_int (get_u32 Be frame (l2 + 12)) in
+    let dst_ip = Int32.of_int (get_u32 Be frame (l2 + 16)) in
+    let src_port = get_u16 Be frame tcp in
+    let dst_port = get_u16 Be frame (tcp + 2) in
+    let seq = get_u32 Be frame (tcp + 4) in
+    let ack = get_u32 Be frame (tcp + 8) in
+    let fl = get_u8 frame (tcp + 13) in
+    let window = get_u16 Be frame (tcp + 14) in
+    let flags =
+      Tcp_segment.flags ~fin:(fl land 0x01 <> 0) ~syn:(fl land 0x02 <> 0)
+        ~rst:(fl land 0x04 <> 0) ~psh:(fl land 0x08 <> 0)
+        ~ack:(fl land 0x10 <> 0) ()
+    in
+    Some
+      (Tcp_segment.v ~ts
+         ~src:(Endpoint.v src_ip src_port)
+         ~dst:(Endpoint.v dst_ip dst_port)
+         ~seq ~ack ~len ~window ~flags ?mss_opt:!mss_opt ~payload ())
+  with Skip_record -> None
+
+(* The streaming core: pull records one at a time from [read] (a
+   [Stdlib.input]-style function) into a reused, bounded frame buffer, so
+   arbitrarily large captures decode in memory proportional to the
+   largest record, not the file. *)
+let fold_read ?(strict = false) ?(on_diag = fun (_ : Diag.t) -> ()) ~read ~init
+    f =
+  let records = ref 0
+  and decoded = ref 0
+  and skipped = ref 0
+  and clipped = ref 0 in
+  let emit (d : Diag.t) =
+    on_diag d;
+    if strict && Diag.is_problem d then
+      raise (Decode_error ("Pcap.decode: " ^ d.Diag.message))
+  in
+  let fatal d =
+    emit d;
+    raise_notrace Stop_reading
+  in
+  let read_upto buf len =
+    let rec go off =
+      if off >= len then off
+      else
+        let n = read buf off (len - off) in
+        if n = 0 then off else go (off + n)
+    in
+    go 0
+  in
+  let acc = ref init in
+  (try
+     let ghdr = Bytes.create 24 in
+     if read_upto ghdr 24 < 24 then
+       fatal (Diag.error ~code:"P002" "truncated header");
+     let raw_le = get_u32 Le ghdr 0 in
+     let endian, ns =
+       if Int32.equal (Int32.of_int raw_le) magic_us then (Le, false)
+       else if Int32.equal (Int32.of_int raw_le) magic_ns then (Le, true)
+       else begin
+         let raw_be = get_u32 Be ghdr 0 in
+         if Int32.equal (Int32.of_int raw_be) magic_us then (Be, false)
+         else if Int32.equal (Int32.of_int raw_be) magic_ns then (Be, true)
+         else fatal (Diag.error ~code:"P001" "bad magic")
+       end
+     in
+     let link_type = get_u32 endian ghdr 20 in
+     if link_type <> 1 then
+       fatal (Diag.error ~code:"P003" "unsupported link type");
+     let rhdr = Bytes.create 16 in
+     let frame = ref (Bytes.create 65536) in
+     let stop = ref false in
+     while not !stop do
+       let n = read_upto rhdr 16 in
+       if n = 0 then stop := true
+       else if n < 16 then begin
+         emit
+           (Diag.warning ~record:!records ~code:"P004"
+              "truncated record header (%d trailing bytes)" n);
+         stop := true
+       end
+       else begin
+         let incl = get_u32 endian rhdr 8 in
+         if incl > max_record_len then begin
+           emit
+             (Diag.warning ~record:!records ~code:"P005"
+                "implausible record length %d" incl);
+           stop := true
+         end
+         else begin
+           if incl > Bytes.length !frame then begin
+             let cap = ref (Bytes.length !frame) in
+             while incl > !cap do
+               cap := !cap * 2
+             done;
+             frame := Bytes.create !cap
+           end;
+           let got = read_upto !frame incl in
+           if got < incl then begin
+             emit
+               (Diag.warning ~record:!records ~code:"P005" "truncated packet");
+             stop := true
+           end
+           else begin
+             let ts_sec = get_u32 endian rhdr 0 in
+             let ts_sub = get_u32 endian rhdr 4 in
+             let ts_us = if ns then ts_sub / 1000 else ts_sub in
+             let ts = (ts_sec * 1_000_000) + ts_us in
+             let ri = !records in
+             incr records;
+             match decode_frame ~emit ~clipped ~ri ~ts !frame incl with
+             | Some seg ->
+                 incr decoded;
+                 acc := f !acc seg
+             | None -> incr skipped
+           end
          end
        end
-     end);
-    pos := frame_off + incl
-  done;
-  Trace.of_segments (List.rev !segs)
+     done
+   with Stop_reading -> ());
+  ( !acc,
+    {
+      records = !records;
+      decoded = !decoded;
+      skipped = !skipped;
+      clipped = !clipped;
+    } )
+
+let reader_of_string data =
+  let pos = ref 0 in
+  fun buf off len ->
+    let n = min len (String.length data - !pos) in
+    Bytes.blit_string data !pos buf off n;
+    pos := !pos + n;
+    n
+
+let fold_string ?strict ?on_diag data ~init f =
+  fold_read ?strict ?on_diag ~read:(reader_of_string data) ~init f
+
+let fold_channel ?strict ?on_diag ic ~init f =
+  fold_read ?strict ?on_diag ~read:(fun buf off len -> input ic buf off len)
+    ~init f
+
+let fold_file ?strict ?on_diag path ~init f =
+  let ic = open_in_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_in ic)
+    (fun () -> fold_channel ?strict ?on_diag ic ~init f)
+
+let result_of_fold fold =
+  let diags = ref [] in
+  let segs, stats =
+    fold ~on_diag:(fun d -> diags := d :: !diags) ~init:[] (fun acc s ->
+        s :: acc)
+  in
+  let diags = List.rev !diags in
+  let diags =
+    if stats.clipped > 0 then
+      diags
+      @ [
+          Diag.info ~code:"P011"
+            "%d of %d records snaplen-clipped (captured payload shorter than \
+             the declared TCP length)"
+            stats.clipped stats.records;
+        ]
+    else diags
+  in
+  { trace = Trace.of_segments (List.rev segs); diags; stats }
+
+let decode_result ?(strict = false) data =
+  result_of_fold (fun ~on_diag ~init f ->
+      fold_string ~strict ~on_diag data ~init f)
+
+let decode data = (decode_result ~strict:true data).trace
+
+let read_file ?(strict = false) path =
+  result_of_fold (fun ~on_diag ~init f ->
+      fold_file ~strict ~on_diag path ~init f)
+
+let of_file path = (read_file ~strict:true path).trace
 
 let to_file path trace =
   let oc = open_out_bin path in
   Fun.protect
     ~finally:(fun () -> close_out oc)
     (fun () -> output_string oc (encode trace))
-
-let of_file path =
-  let ic = open_in_bin path in
-  Fun.protect
-    ~finally:(fun () -> close_in ic)
-    (fun () -> decode (really_input_string ic (in_channel_length ic)))

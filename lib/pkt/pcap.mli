@@ -1,25 +1,128 @@
-(** Minimal libpcap file codec.
+(** Streaming, fault-tolerant libpcap file codec.
 
     Writes traces as classic pcap files (microsecond timestamps, Ethernet
     link type) with fabricated Ethernet/IPv4/TCP headers, and reads them
     back — enough for [pcap2bgp] and the CLI to interoperate with
-    tcpdump-style tooling on the synthetic traces.  Checksums are written
-    as zero and ignored on read.
+    tcpdump-style tooling on both synthetic and real traces.  Checksums
+    are written as zero and ignored on read.
+
+    Reading is {e streaming}: records are decoded one at a time from a
+    reused buffer, so a multi-gigabyte capture is processed in memory
+    proportional to its largest record.  It is also {e snaplen-correct}:
+    a segment's [len] always comes from the declared IPv4/TCP header
+    lengths ([ip_total - ihl - doff]), while its [payload] keeps only the
+    bytes the sniffer captured — possibly fewer, when the capture used a
+    small snaplen (tcpdump [-s]).  Sequence/outstanding/retransmission
+    accounting downstream therefore stays exact on headers-only captures.
+
+    Malformed input degrades gracefully: each problem produces a typed
+    {!Diag.t} ([P0xx] codes, see DESIGN.md "Ingestion robustness") and the
+    reader salvages every decodable record — a capture whose final record
+    was cut off by killing tcpdump mid-write still yields all prior
+    packets.  [?strict:true] (and the legacy {!decode} / {!of_file})
+    instead fail on the first error- or warning-severity diagnostic.
 
     Sequence numbers are wrapped to 32 bits on write; reads return the raw
     32-bit values (traces produced by this repository never wrap). *)
 
 exception Decode_error of string
-(** Raised by {!decode} / {!of_file} on malformed pcap input. *)
+(** Raised on malformed pcap input by {!decode} / {!of_file}, and by the
+    other readers when [~strict:true]. *)
+
+exception Encode_error of string
+(** Raised by {!encode} / {!to_file} on segments that cannot be
+    represented in a pcap file (negative timestamps, seconds beyond the
+    unsigned 32-bit epoch, payload overflowing the IPv4 total length). *)
+
+(** Typed per-record ingestion diagnostics — the same code/severity/
+    message shape as [Tdat_audit.Diag], kept dependency-free here (the
+    audit library layers on this one; [Tdat_audit.Ingest] lifts these
+    into the audit report). *)
+module Diag : sig
+  type severity = Error | Warning | Info
+
+  type t = {
+    code : string;  (** Stable ingestion code, e.g. ["P005"]. *)
+    severity : severity;
+        (** [Error]: the file is not usable at all (bad magic, truncated
+            global header, unsupported link type).  [Warning]: a record
+            was malformed or truncated; salvage continues around it.
+            [Info]: lossless notes (skipped non-IPv4 frames, VLAN tags,
+            snaplen-clipping summary). *)
+    record : int option;  (** 0-based index of the offending record. *)
+    message : string;
+  }
+
+  val severity_name : severity -> string
+  val is_error : t -> bool
+  val pp : Format.formatter -> t -> unit
+end
+
+type stats = {
+  records : int;  (** Complete records read. *)
+  decoded : int;  (** TCP segments produced. *)
+  skipped : int;  (** Records that produced no segment (non-TCP, malformed). *)
+  clipped : int;
+      (** Segments whose captured payload was shorter than the declared
+          TCP length (snaplen truncation). *)
+}
+
+type result = { trace : Trace.t; diags : Diag.t list; stats : stats }
 
 val encode : Trace.t -> string
-(** Serializes a trace to pcap file bytes. *)
+(** Serializes a trace to pcap file bytes.
+    @raise Encode_error on unrepresentable segments. *)
 
 val decode : string -> Trace.t
-(** Parses pcap file bytes (both little- and big-endian files, µs or ns
-    resolution; ns timestamps are truncated to µs).
+(** Strict parse of pcap file bytes (both little- and big-endian files,
+    µs or ns resolution; ns timestamps are truncated to µs).
     @raise Decode_error on malformed input.  Non-TCP packets are
     skipped. *)
 
+val decode_result : ?strict:bool -> string -> result
+(** Like {!decode} but fault-tolerant by default: salvages every
+    decodable record and reports problems as diagnostics.  [~strict:true]
+    raises {!Decode_error} on the first error/warning diagnostic. *)
+
+val fold_string :
+  ?strict:bool ->
+  ?on_diag:(Diag.t -> unit) ->
+  string ->
+  init:'a ->
+  ('a -> Tcp_segment.t -> 'a) ->
+  'a * stats
+(** [fold_string data ~init f] decodes [data] one record at a time,
+    folding [f] over the TCP segments in capture order.  Diagnostics are
+    streamed to [on_diag] instead of being accumulated. *)
+
+val fold_channel :
+  ?strict:bool ->
+  ?on_diag:(Diag.t -> unit) ->
+  in_channel ->
+  init:'a ->
+  ('a -> Tcp_segment.t -> 'a) ->
+  'a * stats
+(** Streaming fold over a (buffered, binary) channel in bounded memory:
+    the channel is read record by record into a reused frame buffer that
+    never exceeds the largest record. *)
+
+val fold_file :
+  ?strict:bool ->
+  ?on_diag:(Diag.t -> unit) ->
+  string ->
+  init:'a ->
+  ('a -> Tcp_segment.t -> 'a) ->
+  'a * stats
+(** {!fold_channel} on a freshly opened file, closed on return. *)
+
 val to_file : string -> Trace.t -> unit
+(** @raise Encode_error on unrepresentable segments. *)
+
 val of_file : string -> Trace.t
+(** Strict streaming read (legacy interface).
+    @raise Decode_error on malformed input. *)
+
+val read_file : ?strict:bool -> string -> result
+(** Streaming read collecting the salvaged trace, all diagnostics (plus a
+    final [P011] snaplen-clipping summary when applicable) and counters.
+    Fault-tolerant unless [~strict:true]. *)

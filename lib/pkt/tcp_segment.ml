@@ -32,7 +32,10 @@ let v ~ts ~src ~dst ~seq ~ack ?len ?(window = 65535) ?(flags = ack_flags)
     match len with
     | None -> String.length payload
     | Some l ->
-        if payload <> "" && l <> String.length payload then
+        (* A payload shorter than [len] is legitimate — snaplen-truncated
+           captures keep only a prefix of each segment — but one longer
+           than [len] would corrupt stream-offset accounting. *)
+        if String.length payload > l then
           invalid_arg "Tcp_segment.v: len disagrees with payload";
         l
   in

@@ -33,7 +33,11 @@ type t = {
   window : int;    (** Advertised receive window, bytes. *)
   flags : flags;
   mss_opt : int option;  (** MSS option, present on SYN segments. *)
-  payload : string;      (** Payload bytes; [""] when not materialized. *)
+  payload : string;
+      (** Captured payload bytes; [""] when not materialized.  May be
+          shorter than [len] when the capture snaplen clipped the
+          segment — [len] always reflects the declared (on-the-wire)
+          payload length. *)
 }
 
 val v :
@@ -49,8 +53,9 @@ val v :
   ?payload:string ->
   unit ->
   t
-(** [len] defaults to [String.length payload]; when both are given they
-    must agree. *)
+(** [len] defaults to [String.length payload]; when both are given the
+    payload may be shorter than [len] (snaplen-truncated capture) but
+    never longer. *)
 
 val seq_end : t -> int
 (** [seq + len], the stream offset one past the last payload byte (SYN and

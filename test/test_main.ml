@@ -4,6 +4,7 @@ let () =
       ("timerange", Test_timerange.suite);
       ("stats", Test_stats.suite);
       ("pkt", Test_pkt.suite);
+      ("ingest", Test_ingest.suite);
       ("bgp", Test_bgp.suite);
       ("netsim", Test_netsim.suite);
       ("tcpsim", Test_tcpsim.suite);
