@@ -22,9 +22,10 @@ let report_capture (r : Tdat_pkt.Pcap.result) =
       r.stats.decoded r.stats.records r.stats.skipped r.stats.clipped;
   not (List.exists Diag.is_error r.diags)
 
-let extract trace connections out_path peer_as local_as =
-  let records =
-    List.concat_map
+let extract trace (stats : Tdat_pkt.Pcap.stats) connections out_path peer_as
+    local_as =
+  let per_conn =
+    List.map
       (fun key ->
         let flow = Tdat_pkt.Trace.infer_sender trace key in
         let sub =
@@ -32,26 +33,44 @@ let extract trace connections out_path peer_as local_as =
             ~sender:flow.Tdat_pkt.Flow.sender
             ~receiver:flow.Tdat_pkt.Flow.receiver
         in
-        Tdat_bgp.Msg_reader.extract_from_trace sub ~flow
-        |> List.map (fun (m : Tdat_bgp.Msg_reader.timed_msg) ->
-               {
-                 Tdat_bgp.Mrt.ts = m.Tdat_bgp.Msg_reader.ts;
-                 peer_as;
-                 local_as;
-                 peer_ip = flow.Tdat_pkt.Flow.sender.Tdat_pkt.Endpoint.ip;
-                 local_ip = flow.Tdat_pkt.Flow.receiver.Tdat_pkt.Endpoint.ip;
-                 msg = m.Tdat_bgp.Msg_reader.msg;
-               }))
+        let msgs =
+          Tdat_bgp.Msg_reader.extract_from_trace sub ~flow
+          |> List.map (fun (m : Tdat_bgp.Msg_reader.timed_msg) ->
+                 {
+                   Tdat_bgp.Mrt.ts = m.Tdat_bgp.Msg_reader.ts;
+                   peer_as;
+                   local_as;
+                   peer_ip = flow.Tdat_pkt.Flow.sender.Tdat_pkt.Endpoint.ip;
+                   local_ip = flow.Tdat_pkt.Flow.receiver.Tdat_pkt.Endpoint.ip;
+                   msg = m.Tdat_bgp.Msg_reader.msg;
+                 })
+        in
+        (flow, msgs))
       connections
   in
+  (* A connection that yields no messages on a salvaged capture is worth
+     flagging: snaplen clipping zero-fills payload tails, and extraction
+     stops at the first byte that no longer parses as BGP. *)
+  List.iter
+    (fun (flow, msgs) ->
+      Format.printf "%a: %d message(s)%s@." Tdat_pkt.Flow.pp flow
+        (List.length msgs)
+        (if msgs = [] && stats.Tdat_pkt.Pcap.clipped > 0 then
+           " (none decodable; capture was snaplen-clipped)"
+         else ""))
+    per_conn;
   let records =
     List.sort (fun a b ->
         Tdat_timerange.Time_us.compare a.Tdat_bgp.Mrt.ts b.Tdat_bgp.Mrt.ts)
-      records
+      (List.concat_map snd per_conn)
   in
   Tdat_bgp.Mrt.to_file out_path records;
-  Printf.printf "%d BGP messages from %d connection(s) -> %s\n"
-    (List.length records) (List.length connections) out_path;
+  Printf.printf
+    "%d BGP messages from %d connection(s) -> %s (salvaged %d/%d pcap \
+     record(s): %d skipped, %d snaplen-clipped)\n"
+    (List.length records) (List.length connections) out_path
+    stats.Tdat_pkt.Pcap.decoded stats.Tdat_pkt.Pcap.records
+    stats.Tdat_pkt.Pcap.skipped stats.Tdat_pkt.Pcap.clipped;
   0
 
 let convert pcap_path out_path peer_as local_as strict =
@@ -68,7 +87,9 @@ let convert pcap_path out_path peer_as local_as strict =
           prerr_endline "no TCP connections found";
           1
         end
-        else extract trace connections out_path peer_as local_as
+        else
+          extract trace r.Tdat_pkt.Pcap.stats connections out_path peer_as
+            local_as
       end
 
 let pcap_arg =

@@ -28,8 +28,71 @@ let session prefixes timer_ms quota seed rtt_ms loss id =
   let result = Tdat_bgpsim.Scenario.run ~seed:(seed + id - 1) [ router ] in
   List.hd result.Tdat_bgpsim.Scenario.outcomes
 
-let generate out_pcap out_mrt prefixes timer_ms quota seed rtt_ms loss routers
-    jobs =
+(* Ground-truth MRT emission (`--emit-mrt DIR`): one archive per session,
+   each opened by a synthesized BGP4MP_STATE_CHANGE to Established at the
+   session's TCP open — the event the study detector anchors transfer
+   starts on — plus a ground_truth.tsv of the known transfer boundaries,
+   so the detector can be validated end to end against archives whose
+   true boundaries the simulator knows. *)
+let emit_mrt_archives dir outcomes =
+  if not (Sys.file_exists dir) then Sys.mkdir dir 0o755;
+  let module Mrt = Tdat_bgp.Mrt in
+  let truths =
+    List.filter_map
+      (fun (i, (o : Tdat_bgpsim.Scenario.outcome)) ->
+        let path = Filename.concat dir (Printf.sprintf "session_%03d.mrt" i) in
+        match o.Tdat_bgpsim.Scenario.mrt with
+        | [] -> None (* nothing archived: no session to record *)
+        | first :: _ as records ->
+            let establish =
+              Mrt.State
+                {
+                  Mrt.sc_ts = o.Tdat_bgpsim.Scenario.tcp_start;
+                  sc_peer_as = first.Mrt.peer_as;
+                  sc_local_as = first.Mrt.local_as;
+                  sc_peer_ip = first.Mrt.peer_ip;
+                  sc_local_ip = first.Mrt.local_ip;
+                  old_state = Mrt.Open_confirm;
+                  new_state = Mrt.Established;
+                }
+            in
+            Mrt.to_file_entries path
+              (establish :: List.map (fun r -> Mrt.Message r) records);
+            let updates =
+              List.filter
+                (fun (r : Mrt.record) ->
+                  match r.Mrt.msg with
+                  | Tdat_bgp.Msg.Update _ -> true
+                  | _ -> false)
+                records
+            in
+            (match updates with
+            | [] -> None
+            | _ ->
+                let last = List.nth updates (List.length updates - 1) in
+                Some
+                  {
+                    Tdat_study.Truth.source = path;
+                    peer_as = first.Mrt.peer_as;
+                    peer_ip = first.Mrt.peer_ip;
+                    start_ts = o.Tdat_bgpsim.Scenario.tcp_start;
+                    end_ts = last.Mrt.ts;
+                    prefixes =
+                      List.fold_left
+                        (fun n (r : Mrt.record) ->
+                          n + Tdat_bgp.Msg.nlri_count r.Mrt.msg)
+                        0 updates;
+                    messages = List.length updates;
+                  }))
+      (List.mapi (fun i o -> (i + 1, o)) outcomes)
+  in
+  let truth_path = Filename.concat dir "ground_truth.tsv" in
+  Tdat_study.Truth.to_file truth_path truths;
+  Printf.printf "wrote %d session archive(s) + %s (%d ground-truth transfer(s))\n"
+    (List.length outcomes) truth_path (List.length truths)
+
+let generate out_pcap out_mrt emit_mrt prefixes timer_ms quota seed rtt_ms loss
+    routers jobs =
   let jobs = if jobs < 1 then 1 else jobs in
   let outcomes =
     Tdat_parallel.Pool.with_pool ~jobs (fun pool ->
@@ -59,6 +122,9 @@ let generate out_pcap out_mrt prefixes timer_ms quota seed rtt_ms loss routers
       Tdat_bgp.Mrt.to_file path mrt;
       Printf.printf "wrote %s (%d MRT records)\n" path (List.length mrt)
   | None -> ());
+  (match emit_mrt with
+  | Some dir -> emit_mrt_archives dir outcomes
+  | None -> ());
   0
 
 let out_pcap_arg =
@@ -69,6 +135,15 @@ let out_mrt_arg =
   Arg.(value & opt (some string) None
        & info [ "mrt" ] ~docv:"OUT.mrt"
            ~doc:"Also write the collector's MRT archive.")
+
+let emit_mrt_arg =
+  Arg.(value & opt (some string) None
+       & info [ "emit-mrt" ] ~docv:"DIR"
+           ~doc:"Write one MRT archive per session into $(docv) — each \
+                 anchored by a BGP4MP_STATE_CHANGE record at session \
+                 establishment — plus a ground_truth.tsv of the known \
+                 transfer boundaries, for validating `tdat study` end to \
+                 end.")
 
 let prefixes_arg =
   Arg.(value & opt int 4000
@@ -111,8 +186,8 @@ let cmd =
   let doc = "synthesize monitored BGP table transfers as pcap (+ MRT)" in
   Cmd.v
     (Cmd.info "simgen" ~version:"1.0.0" ~doc)
-    Term.(const generate $ out_pcap_arg $ out_mrt_arg $ prefixes_arg
-          $ timer_arg $ quota_arg $ seed_arg $ rtt_arg $ loss_arg
-          $ routers_arg $ jobs_arg)
+    Term.(const generate $ out_pcap_arg $ out_mrt_arg $ emit_mrt_arg
+          $ prefixes_arg $ timer_arg $ quota_arg $ seed_arg $ rtt_arg
+          $ loss_arg $ routers_arg $ jobs_arg)
 
 let () = exit (Cmd.eval' cmd)

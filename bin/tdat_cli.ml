@@ -1,6 +1,8 @@
 (* The T-DAT command line: analyze the BGP sessions in a pcap file and
-   explain where each table transfer's time went, or audit the pipeline's
-   own invariants over a trace (`tdat check`). *)
+   explain where each table transfer's time went, audit the pipeline's
+   own invariants over a trace (`tdat check`), or mine longitudinal MRT
+   archives for table transfers (`tdat study`, the paper's Section-2
+   measurement study). *)
 
 open Cmdliner
 
@@ -25,18 +27,49 @@ let report_capture r =
       r.stats.decoded r.stats.records r.stats.skipped r.stats.clipped;
   not (List.exists Diag.is_error r.diags)
 
+(* MRT archive problems mirror the pcap ones: warnings individually,
+   then a one-line salvage summary. *)
+let report_archive path (r : Tdat_bgp.Mrt.result) =
+  let open Tdat_bgp.Mrt in
+  List.iter
+    (fun (d : Diag.t) ->
+      match d.Diag.severity with
+      | Diag.Error | Diag.Warning ->
+          Format.eprintf "tdat: mrt: %a@." Diag.pp d
+      | Diag.Info -> ())
+    r.diags;
+  if r.diags <> [] then
+    Format.eprintf
+      "tdat: mrt: %s: salvaged %d record(s) (%d messages, %d state changes, \
+       %d skipped)@."
+      path r.stats.records r.stats.bgp_messages r.stats.state_changes
+      r.stats.skipped
+
 let load ~strict pcap_path mrt_path sender_side =
   let r = Tdat_pkt.Pcap.read_file ~strict pcap_path in
   if not (report_capture r) then None
   else begin
-    let mrt = Option.map Tdat_bgp.Mrt.of_file mrt_path in
+    let mrt_result =
+      Option.map
+        (fun path ->
+          let mr = Tdat_bgp.Mrt.read_file ~strict path in
+          report_archive path mr;
+          (path, mr))
+        mrt_path
+    in
     let config =
       if sender_side then
         { Tdat.Series_gen.default_config with sniffer_location = `Near_sender }
       else Tdat.Series_gen.default_config
     in
-    Some (r, mrt, config)
+    Some (r, mrt_result, config)
   end
+
+let mrt_records mrt_result =
+  Option.map
+    (fun (_, (mr : Tdat_bgp.Mrt.result)) ->
+      Tdat_bgp.Mrt.messages mr.Tdat_bgp.Mrt.entries)
+    mrt_result
 
 (* Malformed input is a user error (exit 2), not an internal error. *)
 let with_decode_errors f =
@@ -53,9 +86,11 @@ let analyze_file pcap_path mrt_path show_series sender_side jobs strict =
   with_decode_errors @@ fun () ->
   match load ~strict pcap_path mrt_path sender_side with
   | None -> 2
-  | Some (r, mrt, config) ->
+  | Some (r, mrt_result, config) ->
       let results =
-        Tdat.Analyzer.analyze_all ~config ?mrt ~jobs r.Tdat_pkt.Pcap.trace
+        Tdat.Analyzer.analyze_all ~config
+          ?mrt:(mrt_records mrt_result)
+          ~jobs r.Tdat_pkt.Pcap.trace
       in
       if results = [] then prerr_endline "no TCP connections found in trace";
       List.iter
@@ -73,16 +108,23 @@ let check_file pcap_path mrt_path sender_side jobs strict =
   with_decode_errors @@ fun () ->
   match load ~strict pcap_path mrt_path sender_side with
   | None -> 2
-  | Some (r, mrt, config) ->
-      let ingest = Tdat_audit.Ingest.of_result r in
+  | Some (r, mrt_result, config) ->
+      let ingest =
+        Tdat_audit.Ingest.of_result r
+        @ (match mrt_result with
+          | Some (path, mr) ->
+              Tdat_audit.Ingest.of_mrt_diags ~file:path mr.Tdat_bgp.Mrt.diags
+          | None -> [])
+      in
       Format.printf "capture: %s@."
         (if ingest = [] then "ok"
          else Printf.sprintf "%d finding(s)" (List.length ingest));
       if ingest <> [] then
         Format.printf "%a@." Tdat_audit.Diag.pp_report ingest;
       let results =
-        Tdat.Analyzer.analyze_all ~config ?mrt ~audit:true ~jobs
-          r.Tdat_pkt.Pcap.trace
+        Tdat.Analyzer.analyze_all ~config
+          ?mrt:(mrt_records mrt_result)
+          ~audit:true ~jobs r.Tdat_pkt.Pcap.trace
       in
       if results = [] then prerr_endline "no TCP connections found in trace";
       let failed =
@@ -100,6 +142,22 @@ let check_file pcap_path mrt_path sender_side jobs strict =
           results
       in
       if failed then 1 else 0
+
+let study_files paths jobs strict gap_s min_prefixes slow_threshold_s json
+    no_plot =
+  with_decode_errors @@ fun () ->
+  let config =
+    {
+      Tdat_study.Detect.quiet_gap = Tdat_timerange.Time_us.of_s gap_s;
+      min_prefixes;
+    }
+  in
+  let report =
+    Tdat_study.Aggregate.run ~jobs ~strict ~config ?slow_threshold_s paths
+  in
+  if json then print_endline (Tdat_study.Report.to_json report)
+  else print_string (Tdat_study.Report.to_text ~plot:(not no_plot) report);
+  0
 
 let pcap_arg =
   let doc = "Packet trace to analyze (libpcap format, Ethernet/IPv4/TCP)." in
@@ -192,12 +250,81 @@ let check_cmd =
       const (fun p m side j strict -> check_file p m side (clamp_jobs j) strict)
       $ pcap_arg $ mrt_arg $ sender_side_arg $ jobs_arg $ strict_arg)
 
+let study_cmd =
+  let archives_arg =
+    let doc = "MRT update archives to mine (BGP4MP / BGP4MP_ET)." in
+    Arg.(non_empty & pos_all file [] & info [] ~docv:"ARCHIVE.mrt" ~doc)
+  in
+  let gap_arg =
+    let doc =
+      "Quiet gap, in seconds, that ends a transfer.  The default, 200 s, \
+       exceeds the usual BGP hold time so a transfer paused by peer-group \
+       blocking still counts as one transfer."
+    in
+    Arg.(value & opt float 200. & info [ "gap" ] ~docv:"SECONDS" ~doc)
+  in
+  let min_prefixes_arg =
+    let doc =
+      "Minimum announced prefixes for a burst to count as a table transfer \
+       (smaller bursts are steady-state churn)."
+    in
+    Arg.(value & opt int 32 & info [ "min-prefixes" ] ~docv:"N" ~doc)
+  in
+  let slow_arg =
+    let doc =
+      "Fixed slow-transfer threshold in seconds.  Default: the paper's \
+       Section II-B cut, mean + 3*stddev of the observed durations."
+    in
+    Arg.(
+      value
+      & opt (some float) None
+      & info [ "slow-threshold" ] ~docv:"SECONDS" ~doc)
+  in
+  let json_arg =
+    let doc = "Emit the report as a single JSON object." in
+    Arg.(value & flag & info [ "json" ] ~doc)
+  in
+  let no_plot_arg =
+    let doc = "Omit the ASCII duration-CDF plot from the text report." in
+    Arg.(value & flag & info [ "no-plot" ] ~doc)
+  in
+  let study_strict_arg =
+    let doc =
+      "Fail (exit 2) on the first malformed MRT record instead of salvaging \
+       the decodable records with $(b,M0xx) warnings.  See DESIGN.md, \
+       \"Measurement study\"."
+    in
+    Arg.(value & flag & info [ "strict" ] ~doc)
+  in
+  let doc = "Mine MRT update archives for table transfers (Section 2)" in
+  let man =
+    [
+      `S Manpage.s_description;
+      `P
+        "Streams one or more MRT update archives (in bounded memory), \
+         detects the table transfer bursts of every peer — anchored on \
+         BGP4MP_STATE_CHANGE session events when the archive has them, on \
+         quiet gaps otherwise — and aggregates the fleet longitudinally: \
+         duration statistics and CDF, slow-transfer classification \
+         (mean + 3*stddev by default), and per-peer summaries.  Files are \
+         scanned on $(b,--jobs) worker domains; the report is \
+         byte-identical for every value.";
+    ]
+  in
+  Cmd.v
+    (Cmd.info "study" ~doc ~man)
+    Term.(
+      const (fun paths j strict gap minp slow json no_plot ->
+          study_files paths (clamp_jobs j) strict gap minp slow json no_plot)
+      $ archives_arg $ jobs_arg $ study_strict_arg $ gap_arg
+      $ min_prefixes_arg $ slow_arg $ json_arg $ no_plot_arg)
+
 let cmd =
   let doc = "TCP delay analysis for BGP table transfers (T-DAT)" in
   Cmd.group
     (Cmd.info "tdat" ~version:"1.0.0" ~doc)
     ~default:analyze_term
-    [ analyze_cmd; check_cmd ]
+    [ analyze_cmd; check_cmd; study_cmd ]
 
 (* Backward compatibility: `tdat TRACE.pcap ...` (the pre-subcommand
    spelling, still what README documents first) means `tdat analyze
@@ -208,6 +335,7 @@ let argv =
     Array.length argv > 1
     && (not (String.equal argv.(1) "analyze"))
     && (not (String.equal argv.(1) "check"))
+    && (not (String.equal argv.(1) "study"))
     && String.length argv.(1) > 0
     && argv.(1).[0] <> '-'
   then

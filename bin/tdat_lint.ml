@@ -29,10 +29,14 @@
    the number of files with findings capped at 1, i.e. non-zero iff any
    diagnostic was produced. *)
 
+(* The measurement-study layer (lib/study) adds [Transfer] (detected
+   table transfers, ordered by [Transfer.compare]) and [Mrt] (archive
+   records and FSM states, [Mrt.equal_fsm_state]) to the fence. *)
 let fenced_modules =
   [
     "Time_us"; "Span"; "Span_set"; "Series"; "Transfer_id"; "Flow";
     "Endpoint"; "Prefix"; "As_path"; "Attr"; "Factors"; "Series_defs";
+    "Transfer"; "Mrt";
   ]
 
 (* Factor-taxonomy constructors counted as evidence that a [match] scrutinizes

@@ -20,3 +20,26 @@ let of_pcap (d : Pcap.Diag.t) =
   }
 
 let of_result (r : Pcap.result) = List.map of_pcap r.Pcap.diags
+
+module Mrt = Tdat_bgp.Mrt
+
+let mrt_severity_of = function
+  | Mrt.Diag.Error -> Diag.Error
+  | Mrt.Diag.Warning -> Diag.Warning
+  | Mrt.Diag.Info -> Diag.Info
+
+let of_mrt ?(file = "mrt") (d : Mrt.Diag.t) =
+  let subject =
+    match d.Mrt.Diag.record with
+    | Some i -> Printf.sprintf "%s record %d" file i
+    | None -> file
+  in
+  {
+    Diag.code = d.Mrt.Diag.code;
+    severity = mrt_severity_of d.Mrt.Diag.severity;
+    subject;
+    message = d.Mrt.Diag.message;
+    where = None;
+  }
+
+let of_mrt_diags ?file ds = List.map (of_mrt ?file) ds

@@ -1,13 +1,21 @@
-(** Lifting pcap ingestion diagnostics into the audit report shape.
+(** Lifting ingestion diagnostics into the audit report shape.
 
     The pcap reader emits typed [P0xx] diagnostics ([Tdat_pkt.Pcap.Diag])
-    but cannot depend on this library; this module converts them to
-    {!Diag.t} so [tdat check] presents one unified finding list covering
-    both the capture-parsing boundary and the analysis invariants.
-    DESIGN.md ("Ingestion robustness") documents the code table. *)
+    and the MRT archive reader typed [M0xx] diagnostics
+    ([Tdat_bgp.Mrt.Diag]), but neither can depend on this library; this
+    module converts both to {!Diag.t} so [tdat check] and [tdat study]
+    present one unified finding list covering the parsing boundaries and
+    the analysis invariants.  DESIGN.md ("Ingestion robustness" and
+    "Measurement study") documents the code tables. *)
 
 val of_pcap : Tdat_pkt.Pcap.Diag.t -> Diag.t
 (** Severity and code are preserved; the record index becomes the
     subject (["pcap record 12"]). *)
 
 val of_result : Tdat_pkt.Pcap.result -> Diag.t list
+
+val of_mrt : ?file:string -> Tdat_bgp.Mrt.Diag.t -> Diag.t
+(** Severity and code are preserved; the record index (and [file], when
+    given) becomes the subject (["a.mrt record 12"]). *)
+
+val of_mrt_diags : ?file:string -> Tdat_bgp.Mrt.Diag.t list -> Diag.t list

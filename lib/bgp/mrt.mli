@@ -1,10 +1,26 @@
-(** MRT export format (RFC 6396) for BGP4MP message records — the format
-    Quagga collectors archive BGP updates in, and the output format of
-    [pcap2bgp].
+(** Streaming, fault-tolerant MRT codec (RFC 6396) for BGP4MP records —
+    the format Quagga collectors archive BGP updates in, the output
+    format of [pcap2bgp], and the input format of the measurement-study
+    subsystem ([Tdat_study], `tdat study`).
 
     Records are written as [BGP4MP_ET] (type 17, microsecond timestamps)
     and read back from either BGP4MP (type 16, second resolution) or
-    BGP4MP_ET. *)
+    BGP4MP_ET.  Two subtypes are understood: [BGP4MP_MESSAGE] (1), a
+    received BGP message, and [BGP4MP_STATE_CHANGE] (0), an FSM
+    transition of the monitored session — the event the table-transfer
+    detector anchors transfer starts on.  Other record types and
+    subtypes are skipped losslessly.
+
+    Reading is {e streaming}: {!fold_file} / {!fold_channel} decode one
+    record at a time from a reused buffer, so a year-long archive is
+    processed in memory proportional to its largest record.  Malformed
+    input degrades gracefully: each problem produces a typed {!Diag.t}
+    ([M0xx] codes, see DESIGN.md "Measurement study") and the reader
+    salvages every decodable record.  [?strict:true] — and the legacy
+    {!decode} / {!of_file} — instead raise
+    [Bgp_error.Decode_error] with context ["Mrt.decode"] on the first
+    error- or warning-severity diagnostic, message-compatible with the
+    historical whole-file decoder. *)
 
 type record = {
   ts : Tdat_timerange.Time_us.t;
@@ -15,10 +31,131 @@ type record = {
   msg : Msg.t;
 }
 
+(** BGP FSM states as encoded in BGP4MP_STATE_CHANGE records
+    (RFC 6396 §4.4.1, codes 1–6). *)
+type fsm_state = Idle | Connect | Active | Open_sent | Open_confirm | Established
+
+val fsm_state_code : fsm_state -> int
+(** The RFC 6396 wire code, 1–6. *)
+
+val fsm_state_of_code : int -> fsm_state option
+val fsm_state_name : fsm_state -> string
+val equal_fsm_state : fsm_state -> fsm_state -> bool
+
+type state_change = {
+  sc_ts : Tdat_timerange.Time_us.t;
+  sc_peer_as : int;
+  sc_local_as : int;
+  sc_peer_ip : int32;
+  sc_local_ip : int32;
+  old_state : fsm_state;
+  new_state : fsm_state;
+}
+
+(** One decoded archive record. *)
+type entry = Message of record | State of state_change
+
+val entry_ts : entry -> Tdat_timerange.Time_us.t
+val messages : entry list -> record list
+(** The [Message] payloads, in order (state changes dropped). *)
+
+(** Typed per-record archive diagnostics, the same code/severity/message
+    shape as [Pcap.Diag] ([Tdat_audit.Ingest] lifts both into the audit
+    report):
+
+    - [M001] warning: truncated record header — the file ends mid-header;
+      salvage stops, earlier records are kept.
+    - [M002] warning: truncated record — the declared body length
+      overruns the file; salvage stops.
+    - [M003] warning: short BGP4MP body; the record is skipped and
+      salvage continues (framing is intact).
+    - [M004] warning: bad embedded BGP message; skipped, salvage
+      continues.
+    - [M005] info: record of an unsupported MRT type or subtype,
+      skipped losslessly (also what the legacy strict decoder did).
+    - [M006] warning: state-change body with an FSM code outside 1–6;
+      skipped, salvage continues.
+    - [M007] warning: record declaring an implausibly large body
+      (> 16 MiB) — framing is no longer trusted; salvage stops. *)
+module Diag : sig
+  type severity = Error | Warning | Info
+
+  type t = {
+    code : string;  (** Stable archive code, e.g. ["M002"]. *)
+    severity : severity;
+    record : int option;  (** 0-based index of the offending record. *)
+    message : string;
+  }
+
+  val severity_name : severity -> string
+  val is_error : t -> bool
+  val pp : Format.formatter -> t -> unit
+end
+
+type stats = {
+  records : int;  (** Complete records read. *)
+  bgp_messages : int;  (** [Message] entries produced. *)
+  state_changes : int;  (** [State] entries produced. *)
+  skipped : int;  (** Records that produced no entry (unsupported, malformed). *)
+}
+
+type result = { entries : entry list; diags : Diag.t list; stats : stats }
+
 val encode : record list -> string
+(** Message records only (legacy). *)
+
+val encode_entries : entry list -> string
+(** Messages and state changes, as BGP4MP_ET records. *)
+
 val decode : string -> record list
-(** @raise Failure on malformed input; unsupported MRT record types are
-    skipped. *)
+(** Strict whole-buffer parse returning the [Message] records only —
+    state-change and unsupported records are skipped, as the historical
+    decoder did.
+    @raise Bgp_error.Decode_error on malformed input. *)
+
+val decode_result : ?strict:bool -> string -> result
+(** Fault-tolerant by default: salvages every decodable record and
+    reports problems as diagnostics.  [~strict:true] raises
+    [Bgp_error.Decode_error] on the first error/warning diagnostic. *)
+
+val fold_string :
+  ?strict:bool ->
+  ?on_diag:(Diag.t -> unit) ->
+  string ->
+  init:'a ->
+  ('a -> entry -> 'a) ->
+  'a * stats
+(** [fold_string data ~init f] decodes [data] one record at a time,
+    folding [f] over the entries in archive order.  Diagnostics are
+    streamed to [on_diag] instead of being accumulated. *)
+
+val fold_channel :
+  ?strict:bool ->
+  ?on_diag:(Diag.t -> unit) ->
+  in_channel ->
+  init:'a ->
+  ('a -> entry -> 'a) ->
+  'a * stats
+(** Streaming fold over a (binary) channel in bounded memory: the
+    channel is read record by record into a reused buffer that never
+    exceeds the largest record. *)
+
+val fold_file :
+  ?strict:bool ->
+  ?on_diag:(Diag.t -> unit) ->
+  string ->
+  init:'a ->
+  ('a -> entry -> 'a) ->
+  'a * stats
+(** {!fold_channel} on a freshly opened file, closed on return. *)
 
 val to_file : string -> record list -> unit
+val to_file_entries : string -> entry list -> unit
+
 val of_file : string -> record list
+(** Strict streaming read (legacy interface).
+    @raise Bgp_error.Decode_error on malformed input. *)
+
+val read_file : ?strict:bool -> string -> result
+(** Streaming read collecting the salvaged entries, all diagnostics and
+    counters.  Fault-tolerant unless [~strict:true]. *)

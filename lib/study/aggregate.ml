@@ -1,0 +1,88 @@
+module Descriptive = Tdat_stats.Descriptive
+module Knee = Tdat_stats.Knee
+
+type peer_summary = {
+  peer_as : int;
+  peer_ip : int32;
+  transfers : int;
+  anchored : int;
+  slow : int;
+  prefixes_total : int;
+  duration : Descriptive.summary;
+}
+
+type report = {
+  files : Archive.file_report list;
+  transfers : Transfer.t list;
+  slow_threshold_s : float;
+  threshold_auto : bool;
+  slow : Transfer.t list;
+  duration_knee_s : float option;
+  peers : peer_summary list;
+}
+
+let is_slow ~threshold t = Transfer.duration_s t > threshold
+
+let peer_summaries ~threshold transfers =
+  let tbl = Hashtbl.create 16 in
+  List.iter
+    (fun (t : Transfer.t) ->
+      let key = (t.Transfer.peer_as, t.Transfer.peer_ip) in
+      let prev = try Hashtbl.find tbl key with Not_found -> [] in
+      Hashtbl.replace tbl key (t :: prev))
+    transfers;
+  Hashtbl.fold
+    (fun (peer_as, peer_ip) ts acc ->
+      let ts = List.rev ts in
+      {
+        peer_as;
+        peer_ip;
+        transfers = List.length ts;
+        anchored = List.length (List.filter (fun t -> t.Transfer.anchored) ts);
+        slow = List.length (List.filter (is_slow ~threshold) ts);
+        prefixes_total =
+          List.fold_left (fun n t -> n + t.Transfer.prefixes) 0 ts;
+        duration = Descriptive.summarize (List.map Transfer.duration_s ts);
+      }
+      :: acc)
+    tbl []
+  |> List.sort (fun a b ->
+         let c = Int.compare a.peer_as b.peer_as in
+         if c <> 0 then c else Int32.compare a.peer_ip b.peer_ip)
+
+let of_reports ?slow_threshold_s files =
+  let transfers =
+    List.concat_map (fun r -> r.Archive.transfers) files
+    |> List.sort Transfer.compare
+  in
+  let durations = List.map Transfer.duration_s transfers in
+  let threshold_auto = Option.is_none slow_threshold_s in
+  let slow_threshold_s =
+    match slow_threshold_s with
+    | Some t -> t
+    | None -> (
+        match durations with
+        | [] -> Float.nan
+        | _ -> Descriptive.slow_threshold durations)
+  in
+  let slow =
+    if Float.is_nan slow_threshold_s then []
+    else List.filter (is_slow ~threshold:slow_threshold_s) transfers
+  in
+  {
+    files;
+    transfers;
+    slow_threshold_s;
+    threshold_auto;
+    slow;
+    duration_knee_s = Knee.knee_of_sorted durations;
+    peers = peer_summaries ~threshold:slow_threshold_s transfers;
+  }
+
+let run ?(jobs = 1) ?strict ?config ?slow_threshold_s paths =
+  let jobs = if jobs < 1 then 1 else jobs in
+  let files =
+    Tdat_parallel.Pool.with_pool ~jobs (fun pool ->
+        Tdat_parallel.Pool.map pool (Archive.scan_file ?strict ?config) paths)
+  in
+  of_reports ?slow_threshold_s files

@@ -1,0 +1,45 @@
+(** The longitudinal aggregator: fold many archive files — farmed over
+    {!Tdat_parallel.Pool} — into the paper's Section-2 deliverables:
+    duration/size CDFs, slow-transfer classification, and per-peer
+    summaries.  Results are deterministic in the input file order, so
+    the rendered report is byte-identical for every [~jobs] value. *)
+
+type peer_summary = {
+  peer_as : int;
+  peer_ip : int32;
+  transfers : int;
+  anchored : int;
+  slow : int;
+  prefixes_total : int;
+  duration : Tdat_stats.Descriptive.summary;  (** Seconds. *)
+}
+
+type report = {
+  files : Archive.file_report list;  (** Input order. *)
+  transfers : Transfer.t list;  (** All files, {!Transfer.compare} order. *)
+  slow_threshold_s : float;
+      (** The classification cut actually used; [nan] with no
+          transfers. *)
+  threshold_auto : bool;
+      (** [true]: mean + 3·stddev (the paper's Section II-B cut);
+          [false]: caller-fixed. *)
+  slow : Transfer.t list;  (** Transfers with duration above the cut. *)
+  duration_knee_s : float option;
+      (** L-method knee of the sorted duration curve, when the curve
+          has enough points. *)
+  peers : peer_summary list;  (** Sorted by (AS, IP). *)
+}
+
+val of_reports : ?slow_threshold_s:float -> Archive.file_report list -> report
+(** Pure aggregation of already-scanned files. *)
+
+val run :
+  ?jobs:int ->
+  ?strict:bool ->
+  ?config:Detect.config ->
+  ?slow_threshold_s:float ->
+  string list ->
+  report
+(** [run paths] scans every archive ([jobs] worker domains; default 1)
+    and aggregates.  File order — and therefore the report — is
+    independent of [jobs]. *)

@@ -1,0 +1,55 @@
+(** The table-transfer detector: turns a per-archive stream of MRT
+    entries into {!Transfer.t} records, reproducing the paper's
+    Section-2 methodology over longitudinal update archives.
+
+    Detection rules, per peer (identified by [(peer AS, peer IP)]):
+
+    - A BGP4MP_STATE_CHANGE entering [Established] — or a received OPEN
+      message, for archives without state-change records — {e anchors} a
+      transfer: the transfer start is the session-establishment time, as
+      in the paper (which uses the TCP connection start).  A second
+      anchor while an anchored transfer is still empty is ignored (first
+      anchor wins), so STATE_CHANGE followed by the archived OPEN does
+      not reset the start.
+    - A state change leaving [Established] (session reset), or a
+      NOTIFICATION, closes the open transfer at its last update.
+    - UPDATE messages accumulate into the open transfer; a quiet gap
+      longer than [quiet_gap] closes it and starts a new {e unanchored}
+      transfer whose start is its first update.
+    - KEEPALIVEs are ignored: they neither extend nor split a transfer.
+    - On close, bursts announcing fewer than [min_prefixes] distinct
+      NLRI entries are discarded as steady-state churn.
+
+    Feed entries in archive order; the detector assumes per-peer
+    timestamps are non-decreasing (MRT archives are written in arrival
+    order). *)
+
+type config = {
+  quiet_gap : Tdat_timerange.Time_us.t;
+      (** Silence that ends a transfer.  The default, 200 s, matches
+          {!Tdat_bgp.Mct.default_config} for the same reason: it exceeds
+          the usual BGP hold time, so a transfer paused by peer-group
+          blocking still counts as one transfer. *)
+  min_prefixes : int;
+      (** Minimum announced prefixes for a burst to count as a table
+          transfer (default 32, mirroring MCT's churn arming
+          threshold). *)
+}
+
+val default_config : config
+
+type t
+
+val create : ?config:config -> ?source:string -> unit -> t
+(** A fresh detector; [source] is stamped into emitted transfers. *)
+
+val feed : t -> Tdat_bgp.Mrt.entry -> unit
+
+val finish : t -> Transfer.t list
+(** Closes every open transfer and returns all detected transfers in
+    {!Transfer.compare} order.  The detector must not be fed
+    afterwards. *)
+
+val over_entries :
+  ?config:config -> ?source:string -> Tdat_bgp.Mrt.entry list -> Transfer.t list
+(** One-shot convenience: [create]/[feed]/[finish]. *)

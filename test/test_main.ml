@@ -16,5 +16,6 @@ let () =
       ("properties", Test_properties.suite);
       ("audit", Test_audit.suite);
       ("lint", Test_lint.suite);
+      ("study", Test_study.suite);
       ("misc", Test_misc.suite);
     ]
