@@ -116,6 +116,60 @@ let run_config ~label ~out ~sessions ~prefixes ~jobs_list () =
       measured
   in
   Printf.printf "deterministic across jobs: %b\n%!" deterministic;
+  (* Instrumented pass: the same workload with metrics collection on.
+     The pool's queue-wait and execute histograms decompose each
+     configuration's wall time into synchronization overhead versus
+     compute — the split that explains why jobs>1 loses on a box whose
+     runtime recommends 1 core — and the jobs=1 delta against the
+     uninstrumented baseline is the cost of the instrumentation itself
+     (near-zero is the contract; BENCH_SPEED.json records the measured
+     percentage). *)
+  let reg = Tdat_obs.Metrics.default in
+  let hsum name =
+    match Tdat_obs.Metrics.find_histogram reg name with
+    | Some h -> Tdat_obs.Metrics.Histogram.sum h
+    | None -> 0.
+  in
+  let cval name =
+    match Tdat_obs.Metrics.find_counter reg name with
+    | Some c -> Tdat_obs.Metrics.Counter.value c
+    | None -> 0
+  in
+  let instrumented =
+    List.map
+      (fun jobs ->
+        let run () =
+          Tdat_obs.Metrics.reset reg;
+          Tdat_obs.Metrics.set_enabled reg true;
+          let _, wall_s =
+            time (fun () -> Tdat.Analyzer.analyze_all ~audit:true ~jobs trace)
+          in
+          Tdat_obs.Metrics.set_enabled reg false;
+          wall_s
+        in
+        let wall1 = run () in
+        let wall2 = run () in
+        let wall_s = min wall1 wall2 in
+        let queue_wait = hsum "pool.chunk_queue_wait_us" in
+        let execute = hsum "pool.chunk_execute_us" in
+        let completed = cval "pool.jobs_completed" in
+        Printf.printf
+          "instrumented jobs=%d: %.3f s | pool sync %.0f us vs compute %.0f \
+           us (%d jobs)\n\
+           %!"
+          jobs wall_s queue_wait execute completed;
+        (jobs, wall_s, queue_wait, execute, completed))
+      jobs_list
+  in
+  let obs_overhead_pct =
+    match instrumented with
+    | (_, w, _, _, _) :: _ when base_wall > 0. ->
+        (w -. base_wall) /. base_wall *. 100.
+    | _ -> nan
+  in
+  Printf.printf "obs overhead at jobs=%d: %+.2f%%\n%!"
+    (match jobs_list with j :: _ -> j | [] -> 1)
+    obs_overhead_pct;
   let oc = open_out out in
   let p fmt = Printf.fprintf oc fmt in
   p "{\n";
@@ -139,6 +193,20 @@ let run_config ~label ~out ~sessions ~prefixes ~jobs_list () =
         (if i = List.length measured - 1 then "" else ","))
     measured;
   p "  ],\n";
+  p "  \"observability\": {\n";
+  p "    \"obs_overhead_pct\": %.3f,\n" obs_overhead_pct;
+  p "    \"instrumented\": [\n";
+  List.iteri
+    (fun i (jobs, wall_s, queue_wait, execute, completed) ->
+      p
+        "      { \"jobs\": %d, \"wall_s\": %.6f, \
+         \"pool_queue_wait_us_sum\": %.1f, \"pool_execute_us_sum\": %.1f, \
+         \"pool_jobs_completed\": %d }%s\n"
+        jobs wall_s queue_wait execute completed
+        (if i = List.length instrumented - 1 then "" else ","))
+    instrumented;
+  p "    ]\n";
+  p "  },\n";
   p "  \"deterministic_across_jobs\": %b\n" deterministic;
   p "}\n";
   close_out oc;

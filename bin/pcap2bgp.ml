@@ -73,7 +73,8 @@ let extract trace (stats : Tdat_pkt.Pcap.stats) connections out_path peer_as
     stats.Tdat_pkt.Pcap.skipped stats.Tdat_pkt.Pcap.clipped;
   0
 
-let convert pcap_path out_path peer_as local_as strict =
+let convert obs pcap_path out_path peer_as local_as strict =
+  Tdat_obs_cli.with_obs obs @@ fun () ->
   match Tdat_pkt.Pcap.read_file ~strict pcap_path with
   | exception Tdat_pkt.Pcap.Decode_error msg ->
       Printf.eprintf "pcap2bgp: %s\n" msg;
@@ -120,7 +121,7 @@ let cmd =
   Cmd.v
     (Cmd.info "pcap2bgp" ~version:"1.0.0" ~doc)
     Term.(
-      const convert $ pcap_arg $ out_arg $ peer_as_arg $ local_as_arg
-      $ strict_arg)
+      const convert $ Tdat_obs_cli.term $ pcap_arg $ out_arg $ peer_as_arg
+      $ local_as_arg $ strict_arg)
 
 let () = exit (Cmd.eval' cmd)

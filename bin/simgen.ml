@@ -91,8 +91,9 @@ let emit_mrt_archives dir outcomes =
   Printf.printf "wrote %d session archive(s) + %s (%d ground-truth transfer(s))\n"
     (List.length outcomes) truth_path (List.length truths)
 
-let generate out_pcap out_mrt emit_mrt prefixes timer_ms quota seed rtt_ms loss
-    routers jobs =
+let generate obs out_pcap out_mrt emit_mrt prefixes timer_ms quota seed rtt_ms
+    loss routers jobs =
+  Tdat_obs_cli.with_obs obs @@ fun () ->
   let jobs = if jobs < 1 then 1 else jobs in
   let outcomes =
     Tdat_parallel.Pool.with_pool ~jobs (fun pool ->
@@ -186,8 +187,8 @@ let cmd =
   let doc = "synthesize monitored BGP table transfers as pcap (+ MRT)" in
   Cmd.v
     (Cmd.info "simgen" ~version:"1.0.0" ~doc)
-    Term.(const generate $ out_pcap_arg $ out_mrt_arg $ emit_mrt_arg
-          $ prefixes_arg $ timer_arg $ quota_arg $ seed_arg $ rtt_arg
-          $ loss_arg $ routers_arg $ jobs_arg)
+    Term.(const generate $ Tdat_obs_cli.term $ out_pcap_arg $ out_mrt_arg
+          $ emit_mrt_arg $ prefixes_arg $ timer_arg $ quota_arg $ seed_arg
+          $ rtt_arg $ loss_arg $ routers_arg $ jobs_arg)
 
 let () = exit (Cmd.eval' cmd)

@@ -82,7 +82,8 @@ let with_decode_errors f =
       Printf.eprintf "tdat: %s: %s\n" context message;
       2
 
-let analyze_file pcap_path mrt_path show_series sender_side jobs strict =
+let analyze_file obs pcap_path mrt_path show_series sender_side jobs strict =
+  Tdat_obs_cli.with_obs obs @@ fun () ->
   with_decode_errors @@ fun () ->
   match load ~strict pcap_path mrt_path sender_side with
   | None -> 2
@@ -104,7 +105,8 @@ let analyze_file pcap_path mrt_path show_series sender_side jobs strict =
         results;
       0
 
-let check_file pcap_path mrt_path sender_side jobs strict =
+let check_file obs pcap_path mrt_path sender_side jobs strict =
+  Tdat_obs_cli.with_obs obs @@ fun () ->
   with_decode_errors @@ fun () ->
   match load ~strict pcap_path mrt_path sender_side with
   | None -> 2
@@ -137,14 +139,26 @@ let check_file pcap_path mrt_path sender_side jobs strict =
                  Printf.sprintf "%d finding(s)" (List.length diags));
             if diags <> [] then
               Format.printf "%a@." Tdat_audit.Diag.pp_report diags;
+            print_string (Tdat.Report.stage_timing_table a);
             failed || Tdat_audit.Diag.errors diags <> [])
           (Tdat_audit.Diag.errors ingest <> [])
           results
       in
+      (* The tracer's own invariant: every span opened by the analysis
+         must have closed (the A006 counterpart for the trace stream). *)
+      let failed =
+        if Tdat_obs.Tracer.enabled () && not (Tdat_obs.Tracer.balanced ())
+        then begin
+          Format.printf "trace: unbalanced span events@.";
+          true
+        end
+        else failed
+      in
       if failed then 1 else 0
 
-let study_files paths jobs strict gap_s min_prefixes slow_threshold_s json
+let study_files obs paths jobs strict gap_s min_prefixes slow_threshold_s json
     no_plot =
+  Tdat_obs_cli.with_obs obs @@ fun () ->
   with_decode_errors @@ fun () ->
   let config =
     {
@@ -205,10 +219,10 @@ let clamp_jobs n = if n < 1 then 1 else n
 
 let analyze_term =
   Term.(
-    const (fun p m s side j strict ->
-        analyze_file p m s side (clamp_jobs j) strict)
-    $ pcap_arg $ mrt_arg $ series_arg $ sender_side_arg $ jobs_arg
-    $ strict_arg)
+    const (fun obs p m s side j strict ->
+        analyze_file obs p m s side (clamp_jobs j) strict)
+    $ Tdat_obs_cli.term $ pcap_arg $ mrt_arg $ series_arg $ sender_side_arg
+    $ jobs_arg $ strict_arg)
 
 let analyze_cmd =
   let doc = "Explain where each table transfer's time went (default)" in
@@ -236,19 +250,24 @@ let check_cmd =
         "Runs the full analysis with the Tdat_audit validators enabled \
          and reports every invariant violation: non-canonical span sets \
          (A001), non-monotone traces (A002), seq/ack insanity (A003), \
-         ACK-shift conservation failures (A004) and out-of-range factor \
-         accounting (A005), preceded by the capture-ingestion findings \
-         (P0xx: malformed records, truncation, snaplen clipping).  Exits \
-         non-zero when any error-severity finding is produced.  See \
-         DESIGN.md, \"Static analysis & auditing\" and \"Ingestion \
-         robustness\".";
+         ACK-shift conservation failures (A004), out-of-range factor \
+         accounting (A005) and inconsistent stage-timing accounting \
+         (A006), preceded by the capture-ingestion findings (P0xx: \
+         malformed records, truncation, snaplen clipping).  Each \
+         connection's report ends with the per-stage wall-clock table \
+         the instrumented pipeline recorded.  Exits non-zero when any \
+         error-severity finding is produced.  See DESIGN.md, \"Static \
+         analysis & auditing\", \"Ingestion robustness\" and \
+         \"Observability\".";
     ]
   in
   Cmd.v
     (Cmd.info "check" ~doc ~man)
     Term.(
-      const (fun p m side j strict -> check_file p m side (clamp_jobs j) strict)
-      $ pcap_arg $ mrt_arg $ sender_side_arg $ jobs_arg $ strict_arg)
+      const (fun obs p m side j strict ->
+          check_file obs p m side (clamp_jobs j) strict)
+      $ Tdat_obs_cli.term $ pcap_arg $ mrt_arg $ sender_side_arg $ jobs_arg
+      $ strict_arg)
 
 let study_cmd =
   let archives_arg =
@@ -314,10 +333,11 @@ let study_cmd =
   Cmd.v
     (Cmd.info "study" ~doc ~man)
     Term.(
-      const (fun paths j strict gap minp slow json no_plot ->
-          study_files paths (clamp_jobs j) strict gap minp slow json no_plot)
-      $ archives_arg $ jobs_arg $ study_strict_arg $ gap_arg
-      $ min_prefixes_arg $ slow_arg $ json_arg $ no_plot_arg)
+      const (fun obs paths j strict gap minp slow json no_plot ->
+          study_files obs paths (clamp_jobs j) strict gap minp slow json
+            no_plot)
+      $ Tdat_obs_cli.term $ archives_arg $ jobs_arg $ study_strict_arg
+      $ gap_arg $ min_prefixes_arg $ slow_arg $ json_arg $ no_plot_arg)
 
 let cmd =
   let doc = "TCP delay analysis for BGP table transfers (T-DAT)" in

@@ -21,7 +21,13 @@
            mis-attributed;
      L005  bare [failwith] in library code ([lib/]) — raise a typed
            exception ([Bgp_error.Decode_error], [Invalid_argument], ...)
-           so callers can match on it.
+           so callers can match on it;
+     L006  direct stderr printing ([Printf.eprintf], [Format.eprintf],
+           [prerr_endline], ...) in library code ([lib/]) — route
+           diagnostics through [Tdat_obs.Log] so [--log-level] filters
+           them uniformly and every line carries structured key=value
+           pairs ([Tdat_obs] itself emits via [output_string] and stays
+           clean by construction).
 
    The lint is purely syntactic (untyped parsetree): it fences on literal
    module names, so a module alias can evade L002 — the audit layer
@@ -97,6 +103,20 @@ let is_poly_compare local_compare lid =
   | Longident.Lident "compare" -> not local_compare
   | Longident.Ldot (Longident.Lident "Stdlib", "compare") -> true
   | _ -> false
+
+(* --- Rule L006: direct stderr printing in library code -------------------- *)
+
+let is_stderr_print lid =
+  match lid with
+  | Longident.Lident ("prerr_endline" | "prerr_string" | "prerr_newline")
+  | Longident.Ldot
+      ( Longident.Lident "Stdlib",
+        ("prerr_endline" | "prerr_string" | "prerr_newline") ) ->
+      true
+  | _ -> (
+      match (last_module lid, ident_name lid) with
+      | Some ("Printf" | "Format"), Some "eprintf" -> true
+      | _ -> false)
 
 (* --- Rule L002: polymorphic equality on fenced abstract values ------------ *)
 
@@ -220,6 +240,11 @@ let check_structure ~in_lib str =
         report ~loc ~code:"L005"
           "bare failwith in library code; raise a typed exception \
            (e.g. Bgp_error.Decode_error) so callers can match on it"
+    | Pexp_ident { txt; loc } when in_lib && is_stderr_print txt ->
+        report ~loc ~code:"L006"
+          "direct stderr printing in library code; route diagnostics \
+           through Tdat_obs.Log (warn/info/debug) so --log-level \
+           filters them uniformly"
     | Pexp_apply
         ( { pexp_desc = Pexp_ident { txt = Longident.Lident (("=" | "<>") as op); _ };
             pexp_loc = oploc;

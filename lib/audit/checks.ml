@@ -192,3 +192,34 @@ let sizes_bounded ?(subject = "series") ~period sizes =
              Time_us.pp size Time_us.pp period)
       else None)
     sizes
+
+(* --- A006: stage-timing accounting ----------------------------------------- *)
+
+(* The wall clock granularity plus float rounding: nested stage windows
+   measured with the same clock can only exceed their enclosing span by
+   measurement noise. *)
+let timing_epsilon_s = 1e-4
+
+let stage_timings ?(subject = "stages") ~total_s timings =
+  let negative =
+    List.filter_map
+      (fun (name, d) ->
+        if Float.is_finite d && d >= 0. then None
+        else
+          Some
+            (Diag.error ~code:"A006" ~subject
+               "stage %s has an invalid duration (%.9f s)" name d))
+      timings
+  in
+  let sum = List.fold_left (fun acc (_, d) -> acc +. d) 0. timings in
+  let overrun =
+    if timings <> [] && sum > total_s +. timing_epsilon_s then
+      [
+        Diag.error ~code:"A006" ~subject
+          "stage durations sum to %.6f s, exceeding the enclosing span \
+           (%.6f s)"
+          sum total_s;
+      ]
+    else []
+  in
+  negative @ overrun

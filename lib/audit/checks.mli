@@ -16,7 +16,12 @@
       must not create, drop, or mutate them, and may only move them
       forward;
     - [A005] — factor accounting: every delay ratio lies in [0, 1] and
-      every series size is bounded by the analysis period.
+      every series size is bounded by the analysis period;
+    - [A006] — stage-timing accounting: every recorded pipeline-stage
+      duration is finite and non-negative, and the stage durations sum
+      to no more than the enclosing analyze span (the stages are
+      measured as nested windows of one clock, so an overrun means the
+      instrumentation itself is lying).
 
     [Analyzer.analyze ~audit:true] runs all of them over a full analysis;
     [tdat_cli check] exposes them on the command line. *)
@@ -60,3 +65,9 @@ val sizes_bounded :
   Diag.t list
 (** [A005] on named series sizes: non-negative and at most the analysis
     period. *)
+
+val stage_timings :
+  ?subject:string -> total_s:float -> (string * float) list -> Diag.t list
+(** [A006] on named stage durations (seconds): finite, non-negative,
+    and summing to at most [total_s] plus measurement noise.  An empty
+    timing list (uninstrumented run) passes vacuously. *)

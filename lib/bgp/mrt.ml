@@ -223,6 +223,19 @@ let parse_body ~idx ~sec ~ty ~subtype body =
     end
   end
 
+(* Reader throughput instruments (DESIGN.md, "Observability").  The
+   counters are stable — derived only from the archive's contents —
+   while the records-per-second gauge is wall-clock and volatile. *)
+
+module Obs = Tdat_obs.Metrics
+
+let m_records = Obs.Counter.make "mrt.records"
+let m_messages = Obs.Counter.make "mrt.messages"
+let m_state_changes = Obs.Counter.make "mrt.state_changes"
+let m_skipped = Obs.Counter.make "mrt.skipped"
+let m_bytes = Obs.Counter.make "mrt.bytes"
+let g_records_per_s = Obs.Gauge.make ~stable:false "mrt.records_per_s"
+
 (* [fill buf n] reads up to [n] bytes into [buf] and returns the count
    actually read — the only primitive the two input sources differ in. *)
 let fold_fill ?(strict = false) ?(on_diag = fun _ -> ()) fill ~init f =
@@ -284,22 +297,35 @@ let fold_fill ?(strict = false) ?(on_diag = fun _ -> ()) fill ~init f =
         else begin
           let idx = !records in
           incr records;
+          Obs.Counter.incr m_records;
+          (* +12: the MRT common header travels with the body. *)
+          Obs.Counter.add m_bytes (rec_len + 12);
           let body_s = Bytes.sub_string !body 0 rec_len in
           match parse_body ~idx ~sec ~ty ~subtype body_s with
           | `Entry e ->
               (match e with
-              | Message _ -> incr bgp_messages
-              | State _ -> incr state_changes);
+              | Message _ ->
+                  incr bgp_messages;
+                  Obs.Counter.incr m_messages
+              | State _ ->
+                  incr state_changes;
+                  Obs.Counter.incr m_state_changes);
               go (f acc e)
           | `Diag d ->
               incr skipped;
+              Obs.Counter.incr m_skipped;
               emit d;
               go acc
         end
       end
     end
   in
-  let acc = go init in
+  let t_read = if Obs.enabled Obs.default then Tdat_obs.Clock.now_s () else 0. in
+  let acc = Tdat_obs.Span.with_ ~name:"mrt-read" (fun () -> go init) in
+  if Obs.enabled Obs.default then begin
+    let dt = Tdat_obs.Clock.now_s () -. t_read in
+    if dt > 0. then Obs.Gauge.set g_records_per_s (float_of_int !records /. dt)
+  end;
   ( acc,
     {
       records = !records;

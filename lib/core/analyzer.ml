@@ -14,14 +14,51 @@ type t = {
   factors : Factors.result;
   problems : problems;
   audit : Tdat_audit.Diag.t list;
+  timings : (string * float) list;
+  total_s : float;
 }
+
+(* --- observability ----------------------------------------------------
+
+   The pipeline's own stages are first-class measurement points
+   (DESIGN.md, "Observability"): each stage runs under a named
+   [Tdat_obs.Span], its duration feeds a volatile per-stage histogram,
+   and the per-run timing list backs both the `tdat check` stage table
+   and the A006 accounting audit.  All of it is skipped — closures
+   aside, not even a clock read — unless auditing, tracing, or metrics
+   collection is on. *)
+
+module Obs = Tdat_obs.Metrics
+
+let stage_names =
+  [
+    "conn-profile"; "ack-shift"; "transfer-id"; "series-gen"; "factors";
+    "detect-timer"; "detect-loss"; "detect-peer-group"; "detect-zero-ack";
+  ]
+
+let stage_hists =
+  List.map
+    (fun n ->
+      ( n,
+        Obs.Histogram.make ~stable:false
+          ~buckets:Obs.Histogram.time_us_buckets
+          (Printf.sprintf "analyzer.stage.%s.us" n) ))
+    stage_names
+
+let m_analyses = Obs.Counter.make "analyzer.analyses"
+let m_transfers = Obs.Counter.make "analyzer.transfers_identified"
+let m_connections = Obs.Counter.make "analyzer.connections"
+
+let h_connection_packets =
+  Obs.Histogram.make ~buckets:Obs.Histogram.size_buckets
+    "analyzer.connection_packets"
 
 (* Re-derive the invariants the pipeline's algebra assumes (DESIGN.md,
    "Static analysis & auditing"): canonical span sets for every series,
    monotone and sane input segments, conservation across ACK shifting,
-   and in-range factor accounting. *)
+   in-range factor accounting, and self-consistent stage timings. *)
 let run_audit ~profile ~shifted ~skip_shift ~series ~(factors : Factors.result)
-    () =
+    ~timings ~total_s () =
   let open Tdat_audit in
   let data_segs (p : Conn_profile.t) =
     Array.to_list p.Conn_profile.data
@@ -75,31 +112,78 @@ let run_audit ~profile ~shifted ~skip_shift ~series ~(factors : Factors.result)
            (fun s -> (Series_defs.to_string s, Series_gen.size series s))
            Series_defs.all)
   in
+  let timing_checks = Checks.stage_timings ~subject:"stages" ~total_s timings in
   input_checks @ shift_checks @ series_sets @ custom_sets @ accounting
+  @ timing_checks
 
 let analyze ?config ?major_threshold ?mct ?mrt ?(skip_shift = false)
     ?(audit = false) trace ~flow =
-  let profile = Conn_profile.of_trace trace ~flow in
-  let shifted, shifts =
-    if skip_shift then (profile, []) else Ack_shift.shift profile
+  let instrumented =
+    audit || Tdat_obs.Tracer.enabled () || Obs.enabled Obs.default
   in
-  let transfer = Transfer_id.identify ?mct ?mrt trace ~flow in
+  Obs.Counter.incr m_analyses;
+  let timings = ref [] in
+  let stage name f =
+    if not instrumented then f ()
+    else
+      let r, dt = Tdat_obs.Span.timed ~name f in
+      timings := (name, dt) :: !timings;
+      (match List.assoc_opt name stage_hists with
+      | Some h -> Obs.Histogram.observe h (dt *. 1e6)
+      | None -> ());
+      r
+  in
+  let t_start = if instrumented then Tdat_obs.Clock.now_us () else 0. in
+  let profile = stage "conn-profile" (fun () -> Conn_profile.of_trace trace ~flow) in
+  let shifted, shifts =
+    stage "ack-shift" (fun () ->
+        if skip_shift then (profile, []) else Ack_shift.shift profile)
+  in
+  let transfer =
+    stage "transfer-id" (fun () -> Transfer_id.identify ?mct ?mrt trace ~flow)
+  in
   let window = Option.map Transfer_id.span transfer in
-  let series = Series_gen.generate ?config ?window shifted in
-  let factors = Factors.compute ?major_threshold series in
+  let series =
+    stage "series-gen" (fun () -> Series_gen.generate ?config ?window shifted)
+  in
+  let factors =
+    stage "factors" (fun () -> Factors.compute ?major_threshold series)
+  in
   let problems =
     {
-      timer = Detect_timer.detect series;
-      consecutive_losses = Detect_loss.detect series;
-      peer_group_suspects = Detect_peer_group.suspects series;
-      zero_ack_bug = Detect_zero_ack.detect series;
+      timer = stage "detect-timer" (fun () -> Detect_timer.detect series);
+      consecutive_losses =
+        stage "detect-loss" (fun () -> Detect_loss.detect series);
+      peer_group_suspects =
+        stage "detect-peer-group" (fun () -> Detect_peer_group.suspects series);
+      zero_ack_bug =
+        stage "detect-zero-ack" (fun () -> Detect_zero_ack.detect series);
     }
   in
+  let total_s =
+    if instrumented then (Tdat_obs.Clock.now_us () -. t_start) /. 1e6 else 0.
+  in
+  let timings = List.rev !timings in
+  if Option.is_some transfer then Obs.Counter.incr m_transfers;
   let audit =
-    if audit then run_audit ~profile ~shifted ~skip_shift ~series ~factors ()
+    if audit then
+      Tdat_obs.Span.with_ ~name:"audit" (fun () ->
+          run_audit ~profile ~shifted ~skip_shift ~series ~factors ~timings
+            ~total_s ())
     else []
   in
-  { profile; shifted; shifts; transfer; series; factors; problems; audit }
+  {
+    profile;
+    shifted;
+    shifts;
+    transfer;
+    series;
+    factors;
+    problems;
+    audit;
+    timings;
+    total_s;
+  }
 
 let analyze_all ?config ?major_threshold ?mct ?mrt ?audit ?jobs trace =
   (* One pass buckets the whole trace; each bucket is then an
@@ -109,10 +193,17 @@ let analyze_all ?config ?major_threshold ?mct ?mrt ?audit ?jobs trace =
      per-connection sub-trace: byte counts from other connections
      sharing an endpoint (every session shares the collector's) cannot
      leak into the orientation. *)
-  let parts = Tdat_pkt.Trace.partition_connections trace in
+  let parts =
+    Tdat_obs.Span.with_ ~name:"partition" (fun () ->
+        Tdat_pkt.Trace.partition_connections trace)
+  in
+  Obs.Counter.add m_connections (List.length parts);
   let analyze_one (key, sub) =
+    Obs.Histogram.observe h_connection_packets
+      (float_of_int (Tdat_pkt.Trace.length sub));
     let flow = Tdat_pkt.Trace.infer_sender sub key in
-    (flow, analyze ?config ?major_threshold ?mct ?mrt ?audit sub ~flow)
+    (flow, Tdat_obs.Span.with_ ~name:"analyze" (fun () ->
+        analyze ?config ?major_threshold ?mct ?mrt ?audit sub ~flow))
   in
   Tdat_parallel.Pool.with_pool ?jobs (fun pool ->
       Tdat_parallel.Pool.map pool analyze_one parts)

@@ -23,6 +23,17 @@ type t = {
   audit : Tdat_audit.Diag.t list;
       (** Invariant-audit findings; empty unless [analyze ~audit:true]
           was requested (and empty then too on a healthy analysis). *)
+  timings : (string * float) list;
+      (** Wall-clock seconds per pipeline stage, in execution order
+          (conn-profile, ack-shift, transfer-id, series-gen, factors,
+          the four detectors).  Collected when the run is {e
+          instrumented} — auditing, or the [Tdat_obs] tracer/metrics
+          enabled — and empty otherwise, so an uninstrumented analysis
+          never reads the clock. *)
+  total_s : float;
+      (** Wall-clock seconds for the whole stage pipeline (the span the
+          stage durations must sum within — audit rule A006); [0.] when
+          uninstrumented. *)
 }
 
 val analyze :
@@ -42,8 +53,13 @@ val analyze :
     [audit] (default false) additionally runs every {!Tdat_audit.Checks}
     validator over the pipeline's intermediate state — span-set
     canonicality, input monotonicity and seq/ack sanity, ACK-shift
-    conservation, factor accounting — and records the findings in the
-    [audit] field. *)
+    conservation, factor accounting, stage-timing accounting (A006) —
+    and records the findings in the [audit] field.
+
+    Every stage runs under a [Tdat_obs.Span] (emitted to the Chrome
+    tracer when enabled) and feeds per-stage duration histograms into
+    the [Tdat_obs.Metrics] default registry when metrics collection is
+    on. *)
 
 val analyze_all :
   ?config:Series_gen.config ->

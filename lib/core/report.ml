@@ -72,3 +72,30 @@ let pp_analysis ppf (a : Analyzer.t) =
   fprintf ppf "@]"
 
 let to_string a = Format.asprintf "%a" pp_analysis a
+
+let stage_timing_table (a : Analyzer.t) =
+  match a.Analyzer.timings with
+  | [] -> ""
+  | timings ->
+      let buf = Buffer.create 256 in
+      let width =
+        List.fold_left (fun w (n, _) -> max w (String.length n)) 5 timings
+      in
+      Buffer.add_string buf "-- stage timings --\n";
+      let accounted =
+        List.fold_left
+          (fun acc (name, dt) ->
+            Buffer.add_string buf
+              (Printf.sprintf "%-*s %10.3f ms %5.1f%%\n" width name (dt *. 1e3)
+                 (if a.Analyzer.total_s > 0. then
+                    dt /. a.Analyzer.total_s *. 100.
+                  else 0.));
+            acc +. dt)
+          0. timings
+      in
+      Buffer.add_string buf
+        (Printf.sprintf "%-*s %10.3f ms (%0.3f ms unattributed)\n" width
+           "total"
+           (a.Analyzer.total_s *. 1e3)
+           (Float.max 0. (a.Analyzer.total_s -. accounted) *. 1e3));
+      Buffer.contents buf

@@ -8,6 +8,13 @@ val pp_analysis : Format.formatter -> Analyzer.t -> unit
 
 val to_string : Analyzer.t -> string
 
+val stage_timing_table : Analyzer.t -> string
+(** A per-stage wall-clock table (duration and share of the analyze
+    span, plus the unattributed remainder) for an instrumented
+    analysis; [""] when the analysis ran uninstrumented and recorded no
+    timings.  [tdat check] appends it to each connection's audit
+    report. *)
+
 val series_timeline :
   ?width:int ->
   ?names:Series_defs.t list ->

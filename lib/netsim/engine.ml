@@ -1,3 +1,12 @@
+(* Engine instruments (DESIGN.md, "Observability"): the dispatched-event
+   counter is stable (the event sequence is a pure function of the
+   scenario), and so is the heap-depth high-water mark — schedule order
+   does not depend on wall clock or jobs. *)
+module Obs = Tdat_obs.Metrics
+
+let m_events = Obs.Counter.make "sim.events"
+let g_heap_depth_hw = Obs.Gauge.make "sim.heap_depth_hw"
+
 type timer = { mutable cancelled : bool; mutable fired : bool }
 
 type event = { timer : timer; action : unit -> unit }
@@ -14,6 +23,7 @@ let schedule_at t at action =
          t.clock);
   let timer = { cancelled = false; fired = false } in
   Heap.push t.queue at { timer; action };
+  Obs.Gauge.set_max g_heap_depth_hw (float_of_int (Heap.size t.queue));
   timer
 
 let schedule_after t d action =
@@ -40,6 +50,7 @@ let run ?until t =
                 t.clock <- at;
                 if not ev.timer.cancelled then begin
                   ev.timer.fired <- true;
+                  Obs.Counter.incr m_events;
                   ev.action ()
                 end))
   done

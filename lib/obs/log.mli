@@ -1,0 +1,57 @@
+(** Leveled, structured logging for the T-DAT libraries.
+
+    Library code must route diagnostics through this module instead of
+    writing to stderr directly (tdat-lint rule L006 enforces it): the
+    CLI's [--log-level] then filters uniformly, and every line carries
+    machine-splittable [key=value] pairs.
+
+    The API is continuation-based (in the style of the [logs] library):
+    the message closure only runs when the level is enabled, so a
+    disabled call costs one atomic load and a branch — no formatting,
+    no string allocation.
+
+    {[
+      Tdat_obs.Log.warn (fun m ->
+          m ~kv:[ ("file", path); ("record", string_of_int i) ]
+            "truncated record");
+    ]} *)
+
+type level = Error | Warn | Info | Debug
+
+val level_name : level -> string
+(** ["error"], ["warn"], ["info"], ["debug"]. *)
+
+val level_of_string : string -> (level option, string) result
+(** Parses ["error"], ["warn"]/["warning"], ["info"], ["debug"] and
+    ["quiet"]/["off"] (-> [None]).  [Error] carries a usage message. *)
+
+val set_level : level option -> unit
+(** [None] silences everything.  The default is [Some Warn]. *)
+
+val current_level : unit -> level option
+
+val would_log : level -> bool
+(** True when a message at [level] would be emitted — the guard to use
+    around expensive context gathering in hot paths. *)
+
+type dest = [ `Stderr | `File of string | `Buffer of Buffer.t | `Null ]
+
+val set_destination : dest -> unit
+(** Default [`Stderr].  [`File path] appends to [path] (created if
+    missing); a previously opened file destination is closed first.
+    [`Buffer b] is for tests. *)
+
+val close : unit -> unit
+(** Flush and close a [`File] destination (no-op otherwise) and revert
+    to [`Stderr]. *)
+
+type ('a, 'b) msgf =
+  (?kv:(string * string) list ->
+  ('a, Format.formatter, unit, 'b) format4 ->
+  'a) ->
+  'b
+
+val err : ('a, unit) msgf -> unit
+val warn : ('a, unit) msgf -> unit
+val info : ('a, unit) msgf -> unit
+val debug : ('a, unit) msgf -> unit

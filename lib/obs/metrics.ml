@@ -1,0 +1,285 @@
+(* Instruments share their registry's [on] flag, so every update starts
+   with one atomic load and a branch — the entire cost of disabled
+   instrumentation.  All mutation is via [Atomic] operations that
+   commute (fetch-and-add, max-CAS), so totals are scheduling-
+   independent and stable snapshots are deterministic across [--jobs]. *)
+
+type counter = { c_on : bool Atomic.t; c_v : int Atomic.t }
+type gauge = { g_on : bool Atomic.t; g_v : float Atomic.t }
+
+type histogram = {
+  h_on : bool Atomic.t;
+  bounds : float array;  (* inclusive upper bounds, strictly increasing *)
+  counts : int Atomic.t array;  (* length bounds + 1; last = overflow *)
+  h_sum : float Atomic.t;
+  h_count : int Atomic.t;
+}
+
+type instr = C of counter | G of gauge | H of histogram
+
+type entry = { name : string; stable : bool; instr : instr }
+
+type registry = {
+  mutable entries : entry list;  (* registration order; sorted on snapshot *)
+  rmutex : Mutex.t;
+  on : bool Atomic.t;
+}
+
+let create () =
+  { entries = []; rmutex = Mutex.create (); on = Atomic.make false }
+
+let default = create ()
+
+let set_enabled r v = Atomic.set r.on v
+let enabled r = Atomic.get r.on
+
+(* Boxed-float atomic add/max: CAS on the physical box. *)
+let rec float_add a x =
+  let old = Atomic.get a in
+  if not (Atomic.compare_and_set a old (old +. x)) then float_add a x
+
+let rec float_max a x =
+  let old = Atomic.get a in
+  if x > old && not (Atomic.compare_and_set a old x) then float_max a x
+
+let kind_name = function C _ -> "counter" | G _ -> "gauge" | H _ -> "histogram"
+
+(* Registration is idempotent by name; a name may not change kind,
+   stability, or bucket layout. *)
+let register r name stable mk =
+  Mutex.lock r.rmutex;
+  let res =
+    match List.find_opt (fun e -> String.equal e.name name) r.entries with
+    | Some e -> `Existing e
+    | None ->
+        let e = { name; stable; instr = mk () } in
+        r.entries <- e :: r.entries;
+        `Fresh e
+  in
+  Mutex.unlock r.rmutex;
+  res
+
+let mismatch name wanted (e : entry) =
+  invalid_arg
+    (Printf.sprintf "Metrics: %s is already registered as a %s, not a %s" name
+       (kind_name e.instr) wanted)
+
+module Counter = struct
+  type t = counter
+
+  let make ?(registry = default) ?(stable = true) name =
+    match
+      register registry name stable (fun () ->
+          C { c_on = registry.on; c_v = Atomic.make 0 })
+    with
+    | `Fresh { instr = C c; _ } | `Existing { instr = C c; _ } -> c
+    | `Fresh e | `Existing e -> mismatch name "counter" e
+
+  let add c n =
+    if n < 0 then
+      invalid_arg (Printf.sprintf "Counter.add: negative amount %d" n);
+    if Atomic.get c.c_on then ignore (Atomic.fetch_and_add c.c_v n)
+
+  let incr c = if Atomic.get c.c_on then ignore (Atomic.fetch_and_add c.c_v 1)
+  let value c = Atomic.get c.c_v
+end
+
+module Gauge = struct
+  type t = gauge
+
+  let make ?(registry = default) ?(stable = true) name =
+    match
+      register registry name stable (fun () ->
+          G { g_on = registry.on; g_v = Atomic.make 0. })
+    with
+    | `Fresh { instr = G g; _ } | `Existing { instr = G g; _ } -> g
+    | `Fresh e | `Existing e -> mismatch name "gauge" e
+
+  let set g v = if Atomic.get g.g_on then Atomic.set g.g_v v
+  let set_max g v = if Atomic.get g.g_on then float_max g.g_v v
+  let value g = Atomic.get g.g_v
+end
+
+module Histogram = struct
+  type t = histogram
+
+  let default_buckets = [| 1.; 10.; 100.; 1e3; 1e4; 1e5; 1e6 |]
+
+  (* A strictly increasing 1-2-5 ladder from [lo] to at most [hi]. *)
+  let ladder lo hi =
+    let rec go acc v =
+      if v > hi then List.rev acc
+      else
+        let acc = v :: acc in
+        let acc = if 2. *. v <= hi then (2. *. v) :: acc else acc in
+        let acc = if 5. *. v <= hi then (5. *. v) :: acc else acc in
+        go acc (10. *. v)
+    in
+    Array.of_list (go [] lo)
+
+  let time_us_buckets = ladder 10. 1e7
+  let size_buckets = ladder 64. 16_777_216.
+
+  let make ?(registry = default) ?(stable = true)
+      ?(buckets = default_buckets) name =
+    if Array.length buckets = 0 then
+      invalid_arg "Histogram.make: empty bucket bounds";
+    Array.iteri
+      (fun i b ->
+        if i > 0 && b <= buckets.(i - 1) then
+          invalid_arg "Histogram.make: bucket bounds must be strictly increasing")
+      buckets;
+    match
+      register registry name stable (fun () ->
+          H
+            {
+              h_on = registry.on;
+              bounds = Array.copy buckets;
+              counts = Array.init (Array.length buckets + 1) (fun _ -> Atomic.make 0);
+              h_sum = Atomic.make 0.;
+              h_count = Atomic.make 0;
+            })
+    with
+    | `Fresh { instr = H h; _ } -> h
+    | `Existing { instr = H h; _ } ->
+        if
+          Array.length h.bounds <> Array.length buckets
+          || not (Array.for_all2 (fun a b -> Float.equal a b) h.bounds buckets)
+        then
+          invalid_arg
+            (Printf.sprintf
+               "Metrics: histogram %s re-registered with different buckets"
+               name);
+        h
+    | `Fresh e | `Existing e -> mismatch name "histogram" e
+
+  let bucket_index bounds v =
+    (* First bound >= v; linear scan — bucket ladders are short. *)
+    let n = Array.length bounds in
+    let rec go i = if i >= n || v <= bounds.(i) then i else go (i + 1) in
+    go 0
+
+  let observe h v =
+    if Atomic.get h.h_on then begin
+      ignore (Atomic.fetch_and_add h.counts.(bucket_index h.bounds v) 1);
+      float_add h.h_sum v;
+      ignore (Atomic.fetch_and_add h.h_count 1)
+    end
+
+  let count h = Atomic.get h.h_count
+  let sum h = Atomic.get h.h_sum
+
+  let bucket_counts h =
+    Array.init
+      (Array.length h.counts)
+      (fun i ->
+        let bound =
+          if i < Array.length h.bounds then h.bounds.(i) else infinity
+        in
+        (bound, Atomic.get h.counts.(i)))
+end
+
+let find r name =
+  Mutex.lock r.rmutex;
+  let e = List.find_opt (fun e -> String.equal e.name name) r.entries in
+  Mutex.unlock r.rmutex;
+  e
+
+let find_counter r name =
+  match find r name with Some { instr = C c; _ } -> Some c | _ -> None
+
+let find_gauge r name =
+  match find r name with Some { instr = G g; _ } -> Some g | _ -> None
+
+let find_histogram r name =
+  match find r name with Some { instr = H h; _ } -> Some h | _ -> None
+
+let reset r =
+  Mutex.lock r.rmutex;
+  List.iter
+    (fun e ->
+      match e.instr with
+      | C c -> Atomic.set c.c_v 0
+      | G g -> Atomic.set g.g_v 0.
+      | H h ->
+          Array.iter (fun a -> Atomic.set a 0) h.counts;
+          Atomic.set h.h_sum 0.;
+          Atomic.set h.h_count 0)
+    r.entries;
+  Mutex.unlock r.rmutex
+
+(* --- snapshot ---------------------------------------------------------- *)
+
+let add_escaped buf s =
+  Buffer.add_char buf '"';
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string buf "\\\""
+      | '\\' -> Buffer.add_string buf "\\\\"
+      | '\n' -> Buffer.add_string buf "\\n"
+      | c when Char.code c < 0x20 ->
+          Buffer.add_string buf (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char buf c)
+    s;
+  Buffer.add_char buf '"'
+
+let add_float buf v =
+  if Float.is_integer v && Float.abs v < 1e15 then
+    Buffer.add_string buf (Printf.sprintf "%.1f" v)
+  else Buffer.add_string buf (Printf.sprintf "%.6f" v)
+
+let add_instr buf instr =
+  match instr with
+  | C c -> Buffer.add_string buf (Printf.sprintf
+        "{ \"type\": \"counter\", \"value\": %d }" (Atomic.get c.c_v))
+  | G g ->
+      Buffer.add_string buf "{ \"type\": \"gauge\", \"value\": ";
+      add_float buf (Atomic.get g.g_v);
+      Buffer.add_string buf " }"
+  | H h ->
+      Buffer.add_string buf
+        (Printf.sprintf "{ \"type\": \"histogram\", \"count\": %d, \"sum\": "
+           (Atomic.get h.h_count));
+      add_float buf (Atomic.get h.h_sum);
+      Buffer.add_string buf ", \"buckets\": [";
+      Array.iteri
+        (fun i a ->
+          if i > 0 then Buffer.add_string buf ", ";
+          Buffer.add_string buf "{ \"le\": ";
+          if i < Array.length h.bounds then add_float buf h.bounds.(i)
+          else Buffer.add_string buf "\"inf\"";
+          Buffer.add_string buf (Printf.sprintf ", \"count\": %d }" (Atomic.get a)))
+        h.counts;
+      Buffer.add_string buf "] }"
+
+let add_section buf label entries =
+  Buffer.add_string buf "  ";
+  add_escaped buf label;
+  Buffer.add_string buf ": {";
+  List.iteri
+    (fun i e ->
+      if i > 0 then Buffer.add_char buf ',';
+      Buffer.add_string buf "\n    ";
+      add_escaped buf e.name;
+      Buffer.add_string buf ": ";
+      add_instr buf e.instr)
+    entries;
+  Buffer.add_string buf "\n  }"
+
+let snapshot_json ?(stable_only = false) r =
+  Mutex.lock r.rmutex;
+  let entries =
+    List.sort (fun a b -> String.compare a.name b.name) r.entries
+  in
+  Mutex.unlock r.rmutex;
+  let stable, volatile = List.partition (fun e -> e.stable) entries in
+  let buf = Buffer.create 1024 in
+  Buffer.add_string buf "{\n";
+  add_section buf "stable" stable;
+  if not stable_only then begin
+    Buffer.add_string buf ",\n";
+    add_section buf "volatile" volatile
+  end;
+  Buffer.add_string buf "\n}\n";
+  Buffer.contents buf

@@ -1,0 +1,15 @@
+let with_ ~name f =
+  if not (Tracer.enabled ()) then f ()
+  else begin
+    Tracer.begin_span name;
+    Fun.protect ~finally:(fun () -> Tracer.end_span name) f
+  end
+
+let timed ~name f =
+  Tracer.begin_span name;
+  let t0 = Clock.now_us () in
+  Fun.protect
+    ~finally:(fun () -> Tracer.end_span name)
+    (fun () ->
+      let r = f () in
+      (r, (Clock.now_us () -. t0) /. 1e6))

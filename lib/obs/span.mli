@@ -1,0 +1,12 @@
+(** Structured stage spans over {!Tracer}. *)
+
+val with_ : name:string -> (unit -> 'a) -> 'a
+(** [with_ ~name f] runs [f] inside a [name] span: a "B" event before,
+    an "E" event after — also on exception, so recorded spans are
+    always balanced.  When the tracer is disabled this is [f ()] after
+    one atomic load. *)
+
+val timed : name:string -> (unit -> 'a) -> 'a * float
+(** Like {!with_} but unconditionally measures: returns [f]'s result
+    and its wall-clock duration in seconds.  The span events are still
+    emitted only when the tracer is enabled. *)

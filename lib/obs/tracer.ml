@@ -1,0 +1,96 @@
+type ph = B | E
+
+type event = { name : string; ph : ph; ts : float; tid : int }
+
+let on = Atomic.make false
+let set_enabled v = Atomic.set on v
+let enabled () = Atomic.get on
+
+(* Every domain records into its own buffer (a reversed event list
+   reached through a DLS key), so emission is contention-free; the
+   buffers register themselves in [buffers] on first use and survive
+   their domain's termination. *)
+let buffers : event list ref list ref = ref []
+let bmutex = Mutex.create ()
+
+let key =
+  Domain.DLS.new_key (fun () ->
+      let r = ref [] in
+      Mutex.lock bmutex;
+      buffers := r :: !buffers;
+      Mutex.unlock bmutex;
+      r)
+
+let emit ph name =
+  let buf = Domain.DLS.get key in
+  buf :=
+    { name; ph; ts = Clock.now_us (); tid = (Domain.self () :> int) } :: !buf
+
+let begin_span name = if Atomic.get on then emit B name
+let end_span name = if Atomic.get on then emit E name
+
+let clear () =
+  Mutex.lock bmutex;
+  List.iter (fun r -> r := []) !buffers;
+  Mutex.unlock bmutex
+
+let events () =
+  Mutex.lock bmutex;
+  let all = List.concat_map (fun r -> List.rev !r) !buffers in
+  Mutex.unlock bmutex;
+  (* Stable: same-timestamp events of one domain keep emission order. *)
+  List.stable_sort (fun a b -> Float.compare a.ts b.ts) all
+
+let balanced () =
+  let stacks : (int, string list) Hashtbl.t = Hashtbl.create 8 in
+  let ok = ref true in
+  List.iter
+    (fun e ->
+      let stack = Option.value (Hashtbl.find_opt stacks e.tid) ~default:[] in
+      match e.ph with
+      | B -> Hashtbl.replace stacks e.tid (e.name :: stack)
+      | E -> (
+          match stack with
+          | top :: rest when String.equal top e.name ->
+              Hashtbl.replace stacks e.tid rest
+          | _ -> ok := false))
+    (events ());
+  Hashtbl.iter (fun _ stack -> if stack <> [] then ok := false) stacks;
+  !ok
+
+let add_escaped buf s =
+  Buffer.add_char buf '"';
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string buf "\\\""
+      | '\\' -> Buffer.add_string buf "\\\\"
+      | '\n' -> Buffer.add_string buf "\\n"
+      | c when Char.code c < 0x20 ->
+          Buffer.add_string buf (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char buf c)
+    s;
+  Buffer.add_char buf '"'
+
+let to_json () =
+  let evs = events () in
+  let buf = Buffer.create (256 + (96 * List.length evs)) in
+  Buffer.add_string buf "{\"traceEvents\":[";
+  List.iteri
+    (fun i e ->
+      if i > 0 then Buffer.add_char buf ',';
+      Buffer.add_string buf "\n{\"name\":";
+      add_escaped buf e.name;
+      Buffer.add_string buf ",\"cat\":\"tdat\",\"ph\":";
+      Buffer.add_string buf (match e.ph with B -> "\"B\"" | E -> "\"E\"");
+      Buffer.add_string buf (Printf.sprintf ",\"ts\":%.3f" e.ts);
+      Buffer.add_string buf (Printf.sprintf ",\"pid\":0,\"tid\":%d}" e.tid))
+    evs;
+  Buffer.add_string buf "\n]}\n";
+  Buffer.contents buf
+
+let write path =
+  let oc = open_out path in
+  Fun.protect
+    ~finally:(fun () -> close_out_noerr oc)
+    (fun () -> output_string oc (to_json ()))

@@ -1,0 +1,44 @@
+(** Span-based stage tracer emitting Chrome [trace_event] JSON.
+
+    Spans ({!Span.with_}) record begin/end ("B"/"E") events with
+    microsecond wall-clock timestamps into per-domain buffers, so
+    tracing from pool workers never contends.  {!write} merges the
+    buffers, sorts by timestamp, and writes a file loadable directly in
+    [chrome://tracing] or {{:https://ui.perfetto.dev}Perfetto}.
+
+    Disabled (the default), a span is one atomic load and a branch
+    around the traced function. *)
+
+type ph = B | E
+
+type event = {
+  name : string;
+  ph : ph;
+  ts : float;  (** Microseconds since the epoch. *)
+  tid : int;  (** The recording domain's id. *)
+}
+
+val set_enabled : bool -> unit
+val enabled : unit -> bool
+
+val clear : unit -> unit
+(** Drop all recorded events (tests, or between runs). *)
+
+val begin_span : string -> unit
+val end_span : string -> unit
+(** Raw event emission — prefer {!Span.with_}, which guarantees
+    balance. *)
+
+val events : unit -> event list
+(** All recorded events merged across domains, sorted by timestamp
+    (events of one domain keep their emission order). *)
+
+val balanced : unit -> bool
+(** True when, per domain, the events form properly nested
+    begin/end pairs with matching names. *)
+
+val to_json : unit -> string
+(** The Chrome trace: [{"traceEvents": [...]}]. *)
+
+val write : string -> unit
+(** {!to_json} to a file. *)

@@ -1,0 +1,76 @@
+open Cmdliner
+
+type t = {
+  metrics : string option;
+  trace : string option;
+  log_level : Tdat_obs.Log.level option;
+}
+
+let level_conv =
+  let parse s =
+    match Tdat_obs.Log.level_of_string s with
+    | Ok l -> Ok l
+    | Error msg -> Error (`Msg msg)
+  in
+  let print ppf = function
+    | None -> Format.pp_print_string ppf "quiet"
+    | Some l -> Format.pp_print_string ppf (Tdat_obs.Log.level_name l)
+  in
+  Arg.conv (parse, print)
+
+let metrics_arg =
+  let doc =
+    "Collect runtime metrics (reader, analyzer, pool, simulator \
+     counters and histograms) and write a JSON snapshot to $(docv) on \
+     exit.  Off by default: the instrumented paths then cost one atomic \
+     load per event."
+  in
+  Arg.(value & opt (some string) None & info [ "metrics" ] ~docv:"FILE" ~doc)
+
+let trace_arg =
+  let doc =
+    "Record per-stage spans and write a Chrome trace_event JSON file to \
+     $(docv) on exit — load it in chrome://tracing or Perfetto to see \
+     the pipeline timeline per worker domain."
+  in
+  Arg.(value & opt (some string) None & info [ "trace" ] ~docv:"FILE" ~doc)
+
+let log_level_arg =
+  let doc =
+    "Structured-log verbosity on stderr: $(b,error), $(b,warn) (default), \
+     $(b,info), $(b,debug), or $(b,quiet)."
+  in
+  Arg.(
+    value
+    & opt level_conv (Some Tdat_obs.Log.Warn)
+    & info [ "log-level" ] ~docv:"LEVEL" ~doc)
+
+let term =
+  Term.(
+    const (fun metrics trace log_level -> { metrics; trace; log_level })
+    $ metrics_arg $ trace_arg $ log_level_arg)
+
+let with_obs t f =
+  Tdat_obs.Log.set_level t.log_level;
+  if Option.is_some t.metrics then
+    Tdat_obs.Metrics.set_enabled Tdat_obs.Metrics.default true;
+  if Option.is_some t.trace then Tdat_obs.Tracer.set_enabled true;
+  Fun.protect
+    ~finally:(fun () ->
+      (match t.metrics with
+      | Some path ->
+          let oc = open_out path in
+          output_string oc
+            (Tdat_obs.Metrics.snapshot_json Tdat_obs.Metrics.default);
+          output_char oc '\n';
+          close_out oc;
+          Tdat_obs.Metrics.set_enabled Tdat_obs.Metrics.default false
+      | None -> ());
+      (match t.trace with
+      | Some path ->
+          Tdat_obs.Tracer.write path;
+          Tdat_obs.Tracer.set_enabled false;
+          Tdat_obs.Tracer.clear ()
+      | None -> ());
+      Tdat_obs.Log.close ())
+    f

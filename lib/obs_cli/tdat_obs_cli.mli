@@ -1,0 +1,28 @@
+(** The shared observability command-line surface.
+
+    Every T-DAT executable ([tdat], [pcap2bgp], [simgen]) takes the
+    same three flags — [--metrics FILE], [--trace FILE],
+    [--log-level LEVEL] — and runs its work under {!with_obs}, which
+    turns the requested collectors on, guarantees the output files are
+    written even when the command fails, and leaves the process-global
+    observability state reset afterwards.  With none of the flags
+    given, nothing is enabled and the instrumented hot paths stay at
+    their disabled near-zero cost. *)
+
+type t = {
+  metrics : string option;  (** Write a metrics snapshot (JSON) here. *)
+  trace : string option;  (** Write a Chrome trace (JSON) here. *)
+  log_level : Tdat_obs.Log.level option;
+      (** Stderr log level; [None] = quiet. *)
+}
+
+val term : t Cmdliner.Term.t
+(** [--metrics FILE], [--trace FILE] (both default off) and
+    [--log-level LEVEL] (default [warn]; [quiet] silences). *)
+
+val with_obs : t -> (unit -> 'a) -> 'a
+(** [with_obs t f] applies the log level, enables the default metrics
+    registry when [t.metrics] is set and the tracer when [t.trace] is,
+    runs [f ()], and — whether [f] returns or raises — writes the
+    requested snapshot/trace files, disables both collectors, and
+    closes any log destination. *)

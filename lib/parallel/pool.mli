@@ -5,7 +5,8 @@
     shared-memory parallelism.  This pool is deliberately tiny — a
     chunked index queue guarded by a [Mutex]/[Condition] pair — so the
     repository keeps its no-external-dependency rule ([domainslib] is
-    not available here).
+    not available here; the only in-repo dependency is [Tdat_obs] for
+    self-measurement).
 
     Guarantees:
 
@@ -24,7 +25,15 @@
     works on the batch, so a pool of [jobs = n] uses [n - 1] spawned
     domains plus the caller.  [map] must not be called from inside a
     task running on the same pool (the nested call would wait for the
-    batch it is part of). *)
+    batch it is part of).
+
+    When [Tdat_obs.Metrics] collection is enabled the pool reports
+    batch/job counters (stable: identical for every [jobs] value),
+    chunk queue-wait and execute-time histograms, and cumulative
+    per-executor busy-time gauges ([pool.worker<i>.busy_us], where
+    executor [jobs - 1] is the calling domain) — enough to split a
+    batch's wall time into synchronization overhead versus compute.
+    Disabled, each measurement point is one atomic load. *)
 
 type t
 

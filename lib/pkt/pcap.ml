@@ -52,6 +52,26 @@ module Diag = struct
           d.message
 end
 
+(* --- observability ----------------------------------------------------
+
+   Reader throughput instruments (DESIGN.md, "Observability").  Record,
+   segment, skip and byte counters are stable — pure functions of the
+   input capture — while the records-per-second gauge is wall-clock and
+   therefore volatile.  With metrics disabled each point costs one
+   atomic load. *)
+
+module Obs = Tdat_obs.Metrics
+
+let m_records = Obs.Counter.make "pcap.records"
+let m_segments = Obs.Counter.make "pcap.segments"
+let m_skipped = Obs.Counter.make "pcap.skipped"
+let m_bytes = Obs.Counter.make "pcap.bytes"
+
+let h_record_bytes =
+  Obs.Histogram.make ~buckets:Obs.Histogram.size_buckets "pcap.record_bytes"
+
+let g_records_per_s = Obs.Gauge.make ~stable:false "pcap.records_per_s"
+
 (* --- encoding --------------------------------------------------------- *)
 
 let encode_packet buf (s : Tcp_segment.t) =
@@ -322,6 +342,8 @@ let fold_read ?(strict = false) ?(on_diag = fun (_ : Diag.t) -> ()) ~read ~init
     go 0
   in
   let acc = ref init in
+  let t_read = if Obs.enabled Obs.default then Tdat_obs.Clock.now_s () else 0. in
+  Tdat_obs.Span.with_ ~name:"pcap-read" @@ fun () ->
   (try
      let ghdr = Bytes.create 24 in
      if read_upto ghdr 24 < 24 then
@@ -381,16 +403,27 @@ let fold_read ?(strict = false) ?(on_diag = fun (_ : Diag.t) -> ()) ~read ~init
              let ts = (ts_sec * 1_000_000) + ts_us in
              let ri = !records in
              incr records;
+             Obs.Counter.incr m_records;
+             (* +16: the per-record pcap header travels with the frame. *)
+             Obs.Counter.add m_bytes (incl + 16);
+             Obs.Histogram.observe h_record_bytes (float_of_int incl);
              match decode_frame ~emit ~clipped ~ri ~ts !frame incl with
              | Some seg ->
                  incr decoded;
+                 Obs.Counter.incr m_segments;
                  acc := f !acc seg
-             | None -> incr skipped
+             | None ->
+                 incr skipped;
+                 Obs.Counter.incr m_skipped
            end
          end
        end
      done
    with Stop_reading -> ());
+  if Obs.enabled Obs.default then begin
+    let dt = Tdat_obs.Clock.now_s () -. t_read in
+    if dt > 0. then Obs.Gauge.set g_records_per_s (float_of_int !records /. dt)
+  end;
   ( !acc,
     {
       records = !records;

@@ -1,6 +1,15 @@
 module Descriptive = Tdat_stats.Descriptive
 module Knee = Tdat_stats.Knee
 
+(* Study instruments (DESIGN.md, "Observability"): all stable — counts
+   of scanned files and detected transfers are pure functions of the
+   archive set, whatever [jobs] is. *)
+module Obs = Tdat_obs.Metrics
+
+let m_files = Obs.Counter.make "study.files"
+let m_transfers = Obs.Counter.make "study.transfers"
+let m_anchored = Obs.Counter.make "study.transfers_anchored"
+
 type peer_summary = {
   peer_as : int;
   peer_ip : int32;
@@ -81,8 +90,18 @@ let of_reports ?slow_threshold_s files =
 
 let run ?(jobs = 1) ?strict ?config ?slow_threshold_s paths =
   let jobs = if jobs < 1 then 1 else jobs in
+  let scan path =
+    Tdat_obs.Span.with_ ~name:"study-scan" (fun () ->
+        let r = Archive.scan_file ?strict ?config path in
+        Obs.Counter.incr m_files;
+        Obs.Counter.add m_transfers (List.length r.Archive.transfers);
+        Obs.Counter.add m_anchored
+          (List.length
+             (List.filter (fun t -> t.Transfer.anchored) r.Archive.transfers));
+        r)
+  in
   let files =
     Tdat_parallel.Pool.with_pool ~jobs (fun pool ->
-        Tdat_parallel.Pool.map pool (Archive.scan_file ?strict ?config) paths)
+        Tdat_parallel.Pool.map pool scan paths)
   in
   of_reports ?slow_threshold_s files

@@ -21,3 +21,7 @@ let short_name f =
   | _ -> "other" (* L004: catch-all over the factor taxonomy *)
 
 let parse s = if s = "" then failwith "empty input" else s (* L005 *)
+
+let complain path = Printf.eprintf "bad file %s\n" path (* L006: stderr *)
+
+let complain_more () = prerr_endline "still bad" (* L006: stderr *)

@@ -22,3 +22,6 @@ let short_name f =
 exception Empty_input
 
 let parse s = if String.equal s "" then raise Empty_input else s
+
+let complain path =
+  Tdat_obs.Log.warn (fun m -> m ~kv:[ ("file", path) ] "bad file")

@@ -32,7 +32,7 @@ let contains_substring haystack needle =
   let rec at i = i + nn <= nh && (String.sub haystack i nn = needle || at (i + 1)) in
   at 0
 
-let codes = [ "L001"; "L002"; "L003"; "L004"; "L005" ]
+let codes = [ "L001"; "L002"; "L003"; "L004"; "L005"; "L006" ]
 
 let test_bad_fixture_fails () =
   let exit_code, lines =

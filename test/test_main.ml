@@ -17,5 +17,6 @@ let () =
       ("audit", Test_audit.suite);
       ("lint", Test_lint.suite);
       ("study", Test_study.suite);
+      ("obs", Test_obs.suite);
       ("misc", Test_misc.suite);
     ]

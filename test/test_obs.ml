@@ -1,0 +1,319 @@
+(* Tdat_obs: metrics registry semantics (monotone counters, histogram
+   bucket boundaries, disabled-registry no-ops), snapshot determinism
+   across --jobs on a fixed fleet, span nesting and Chrome-trace
+   well-formedness, logger level filtering, the A006 stage-timing
+   audit, and the CLI [with_obs] wrapper end to end. *)
+
+module Obs = Tdat_obs.Metrics
+module Tracer = Tdat_obs.Tracer
+module Span = Tdat_obs.Span
+module Log = Tdat_obs.Log
+
+let contains haystack needle =
+  let nh = String.length haystack and nn = String.length needle in
+  let rec at i =
+    i + nn <= nh && (String.sub haystack i nn = needle || at (i + 1))
+  in
+  at 0
+
+let count_occurrences haystack needle =
+  let nh = String.length haystack and nn = String.length needle in
+  let rec go i n =
+    if i + nn > nh then n
+    else if String.sub haystack i nn = needle then go (i + nn) (n + 1)
+    else go (i + 1) n
+  in
+  go 0 0
+
+(* --- counters ---------------------------------------------------------- *)
+
+let test_counter_monotone () =
+  let reg = Obs.create () in
+  Obs.set_enabled reg true;
+  let c = Obs.Counter.make ~registry:reg "t.counter" in
+  Alcotest.(check int) "fresh counter is zero" 0 (Obs.Counter.value c);
+  Obs.Counter.incr c;
+  Obs.Counter.add c 41;
+  Alcotest.(check int) "incr + add accumulate" 42 (Obs.Counter.value c);
+  Alcotest.check_raises "negative add rejected"
+    (Invalid_argument "Counter.add: negative amount -1") (fun () ->
+      Obs.Counter.add c (-1));
+  Alcotest.(check int) "value unchanged after rejection" 42
+    (Obs.Counter.value c)
+
+let test_disabled_is_noop () =
+  let reg = Obs.create () in
+  let c = Obs.Counter.make ~registry:reg "t.disabled.counter" in
+  let g = Obs.Gauge.make ~registry:reg "t.disabled.gauge" in
+  let h = Obs.Histogram.make ~registry:reg "t.disabled.hist" in
+  Obs.Counter.incr c;
+  Obs.Counter.add c 10;
+  Obs.Gauge.set g 5.;
+  Obs.Gauge.set_max g 9.;
+  Obs.Histogram.observe h 3.;
+  Alcotest.(check int) "counter untouched" 0 (Obs.Counter.value c);
+  Alcotest.(check (float 0.)) "gauge untouched" 0. (Obs.Gauge.value g);
+  Alcotest.(check int) "histogram untouched" 0 (Obs.Histogram.count h)
+
+let test_make_idempotent () =
+  let reg = Obs.create () in
+  Obs.set_enabled reg true;
+  let a = Obs.Counter.make ~registry:reg "t.same" in
+  let b = Obs.Counter.make ~registry:reg "t.same" in
+  Obs.Counter.incr a;
+  Obs.Counter.incr b;
+  Alcotest.(check int) "both handles hit one instrument" 2
+    (Obs.Counter.value a);
+  Alcotest.(check bool) "kind clash rejected" true
+    (try
+       ignore (Obs.Gauge.make ~registry:reg "t.same");
+       false
+     with Invalid_argument _ -> true)
+
+(* --- histograms -------------------------------------------------------- *)
+
+let test_histogram_buckets () =
+  let reg = Obs.create () in
+  Obs.set_enabled reg true;
+  let h =
+    Obs.Histogram.make ~registry:reg ~buckets:[| 1.; 2.; 5. |] "t.hist"
+  in
+  List.iter (Obs.Histogram.observe h) [ 1.0; 1.5; 5.0; 7.0 ];
+  Alcotest.(check int) "count" 4 (Obs.Histogram.count h);
+  Alcotest.(check (float 1e-9)) "sum" 14.5 (Obs.Histogram.sum h);
+  let buckets = Obs.Histogram.bucket_counts h in
+  Alcotest.(check int) "bucket array length" 4 (Array.length buckets);
+  (* Bounds are inclusive upper limits: 1.0 lands in [<=1], 1.5 in
+     [<=2], 5.0 in [<=5], and 7.0 overflows. *)
+  Alcotest.(check (list (pair (float 0.) int)))
+    "bucket boundaries (inclusive) and overflow"
+    [ (1., 1); (2., 1); (5., 1); (infinity, 1) ]
+    (Array.to_list buckets);
+  Alcotest.(check bool) "non-increasing bounds rejected" true
+    (try
+       ignore
+         (Obs.Histogram.make ~registry:reg ~buckets:[| 2.; 1. |] "t.hist2");
+       false
+     with Invalid_argument _ -> true)
+
+(* --- snapshot determinism across jobs ---------------------------------- *)
+
+let fleet_trace () =
+  let session id =
+    let upstream = Tdat_tcpsim.Connection.path ~delay:2_000 () in
+    let router =
+      Tdat_bgpsim.Scenario.router ~table_prefixes:120 ~quota:8 ~upstream id
+    in
+    let result = Tdat_bgpsim.Scenario.run ~seed:(40 + id) [ router ] in
+    List.hd result.Tdat_bgpsim.Scenario.outcomes
+  in
+  let outcomes = List.init 3 (fun i -> session (i + 1)) in
+  Tdat_pkt.Trace.of_segments
+    (List.concat_map
+       (fun o -> Tdat_pkt.Trace.segments o.Tdat_bgpsim.Scenario.trace)
+       outcomes)
+
+let test_snapshot_deterministic_across_jobs () =
+  (* The fleet is generated before metrics are enabled, so the snapshot
+     sees only the analysis pipeline's instruments. *)
+  let trace = fleet_trace () in
+  let snapshot jobs =
+    Obs.reset Obs.default;
+    Obs.set_enabled Obs.default true;
+    ignore (Tdat.Analyzer.analyze_all ~jobs trace);
+    let s = Obs.snapshot_json ~stable_only:true Obs.default in
+    Obs.set_enabled Obs.default false;
+    s
+  in
+  let s1 = snapshot 1 in
+  let s2 = snapshot 2 in
+  let s4 = snapshot 4 in
+  Alcotest.(check string) "stable snapshot jobs=1 vs jobs=2" s1 s2;
+  Alcotest.(check string) "stable snapshot jobs=1 vs jobs=4" s1 s4;
+  Alcotest.(check bool) "snapshot mentions the analyzer" true
+    (contains s1 "analyzer.analyses")
+
+(* --- tracer ------------------------------------------------------------ *)
+
+let count_phase events ph =
+  List.length (List.filter (fun (e : Tracer.event) -> e.Tracer.ph = ph) events)
+
+let test_span_nesting_balance () =
+  Tracer.clear ();
+  Tracer.set_enabled true;
+  let r =
+    Span.with_ ~name:"outer" (fun () ->
+        Span.with_ ~name:"inner" (fun () -> 7)
+        + Span.with_ ~name:"inner" (fun () -> 35))
+  in
+  Tracer.set_enabled false;
+  Alcotest.(check int) "traced result" 42 r;
+  let events = Tracer.events () in
+  Alcotest.(check int) "three spans -> six events" 6 (List.length events);
+  Alcotest.(check int) "begin count" 3 (count_phase events Tracer.B);
+  Alcotest.(check int) "end count" 3 (count_phase events Tracer.E);
+  Alcotest.(check bool) "balanced" true (Tracer.balanced ());
+  Tracer.clear ()
+
+let test_span_balanced_on_raise () =
+  Tracer.clear ();
+  Tracer.set_enabled true;
+  (try
+     Span.with_ ~name:"bang" (fun () -> raise Exit)
+   with Exit -> ());
+  Tracer.set_enabled false;
+  Alcotest.(check bool) "span closed by the raise" true (Tracer.balanced ());
+  Alcotest.(check int) "one begin, one end" 2 (List.length (Tracer.events ()));
+  Tracer.clear ()
+
+let test_trace_json_shape () =
+  Tracer.clear ();
+  Tracer.set_enabled true;
+  Span.with_ ~name:"stage-a" (fun () ->
+      Span.with_ ~name:"stage-b" ignore);
+  Tracer.set_enabled false;
+  let json = Tracer.to_json () in
+  Tracer.clear ();
+  Alcotest.(check bool) "opens a traceEvents array" true
+    (String.starts_with ~prefix:"{\"traceEvents\":[" json);
+  Alcotest.(check int) "two begin events" 2
+    (count_occurrences json "\"ph\":\"B\"");
+  Alcotest.(check int) "two end events" 2
+    (count_occurrences json "\"ph\":\"E\"");
+  Alcotest.(check int) "every event carries a tid" 4
+    (count_occurrences json "\"tid\":")
+
+(* --- logger ------------------------------------------------------------ *)
+
+let with_log_buffer f =
+  let buf = Buffer.create 256 in
+  Log.set_destination (`Buffer buf);
+  let saved = Log.current_level () in
+  Fun.protect
+    ~finally:(fun () ->
+      Log.set_level saved;
+      Log.set_destination `Stderr)
+    (fun () -> f buf)
+
+let test_log_level_filtering () =
+  with_log_buffer (fun buf ->
+      Log.set_level (Some Log.Info);
+      Log.debug (fun m -> m "dropped");
+      Log.info (fun m -> m ~kv:[ ("n", "3") ] "kept %d" 1);
+      Log.warn (fun m -> m "kept too");
+      let out = Buffer.contents buf in
+      Alcotest.(check bool) "debug filtered" false (contains out "dropped");
+      Alcotest.(check bool) "info kept with kv" true
+        (contains out "[info] kept 1 n=3");
+      Alcotest.(check bool) "warn kept" true (contains out "[warn] kept too");
+      Log.set_level None;
+      Log.err (fun m -> m "silenced");
+      Alcotest.(check bool) "quiet silences errors" false
+        (contains (Buffer.contents buf) "silenced"))
+
+let test_log_closure_laziness () =
+  with_log_buffer (fun _ ->
+      Log.set_level (Some Log.Warn);
+      let ran = ref false in
+      Log.debug (fun m ->
+          ran := true;
+          m "never");
+      Alcotest.(check bool) "disabled closure never runs" false !ran)
+
+(* --- A006 stage-timing audit ------------------------------------------- *)
+
+let test_stage_timing_audit () =
+  let open Tdat_audit in
+  Alcotest.(check int) "empty timings pass vacuously" 0
+    (List.length (Checks.stage_timings ~total_s:0. []));
+  Alcotest.(check int) "consistent timings pass" 0
+    (List.length
+       (Checks.stage_timings ~total_s:1.0 [ ("a", 0.4); ("b", 0.5) ]));
+  let overrun =
+    Checks.stage_timings ~total_s:0.5 [ ("a", 0.4); ("b", 0.5) ]
+  in
+  Alcotest.(check bool) "overrun reported as A006" true
+    (List.exists (fun d -> String.equal d.Diag.code "A006") overrun);
+  let negative = Checks.stage_timings ~total_s:1.0 [ ("a", -0.1) ] in
+  Alcotest.(check bool) "negative duration reported" true
+    (List.exists (fun d -> String.equal d.Diag.code "A006") negative)
+
+let test_analyze_records_timings () =
+  let trace = fleet_trace () in
+  match Tdat.Analyzer.analyze_all ~audit:true ~jobs:1 trace with
+  | [] -> Alcotest.fail "fleet produced no connections"
+  | (_, a) :: _ ->
+      Alcotest.(check int) "every stage timed" 9
+        (List.length a.Tdat.Analyzer.timings);
+      Alcotest.(check bool) "total spans the stages" true
+        (a.Tdat.Analyzer.total_s
+        >= List.fold_left (fun s (_, d) -> s +. d) 0. a.Tdat.Analyzer.timings
+           -. 1e-4);
+      Alcotest.(check bool) "audit clean (A006 included)" true
+        (a.Tdat.Analyzer.audit = []);
+      Alcotest.(check bool) "timing table renders" true
+        (contains (Tdat.Report.stage_timing_table a) "conn-profile")
+
+(* --- CLI wrapper end to end --------------------------------------------- *)
+
+let test_with_obs_writes_files () =
+  let tmp suffix =
+    Filename.temp_file "tdat_obs_test" suffix
+  in
+  let metrics_path = tmp ".metrics.json" in
+  let trace_path = tmp ".trace.json" in
+  let obs =
+    {
+      Tdat_obs_cli.metrics = Some metrics_path;
+      trace = Some trace_path;
+      log_level = None;
+    }
+  in
+  let trace = fleet_trace () in
+  let n =
+    Tdat_obs_cli.with_obs obs (fun () ->
+        List.length (Tdat.Analyzer.analyze_all ~jobs:2 trace))
+  in
+  Alcotest.(check bool) "analysis ran" true (n > 0);
+  let read path = In_channel.with_open_bin path In_channel.input_all in
+  let metrics = read metrics_path in
+  let trace_json = read trace_path in
+  Sys.remove metrics_path;
+  Sys.remove trace_path;
+  Alcotest.(check bool) "collectors left disabled" false
+    (Obs.enabled Obs.default || Tracer.enabled ());
+  Alcotest.(check bool) "metrics snapshot has both sections" true
+    (contains metrics "\"stable\"" && contains metrics "\"volatile\"");
+  Alcotest.(check bool) "trace covers the analyzer stages" true
+    (List.for_all
+       (fun stage -> contains trace_json (Printf.sprintf "%S" stage))
+       [ "partition"; "analyze"; "conn-profile"; "series-gen"; "factors" ]);
+  Alcotest.(check bool) "trace is a traceEvents object" true
+    (String.starts_with ~prefix:"{\"traceEvents\":[" trace_json)
+
+let suite =
+  [
+    Alcotest.test_case "counters are monotone" `Quick test_counter_monotone;
+    Alcotest.test_case "disabled registry is a no-op" `Quick
+      test_disabled_is_noop;
+    Alcotest.test_case "registration is idempotent by name" `Quick
+      test_make_idempotent;
+    Alcotest.test_case "histogram bucket boundaries" `Quick
+      test_histogram_buckets;
+    Alcotest.test_case "stable snapshot identical across jobs" `Quick
+      test_snapshot_deterministic_across_jobs;
+    Alcotest.test_case "spans nest and balance" `Quick
+      test_span_nesting_balance;
+    Alcotest.test_case "spans balance across raises" `Quick
+      test_span_balanced_on_raise;
+    Alcotest.test_case "chrome trace JSON shape" `Quick test_trace_json_shape;
+    Alcotest.test_case "log level filtering" `Quick test_log_level_filtering;
+    Alcotest.test_case "disabled log closures never run" `Quick
+      test_log_closure_laziness;
+    Alcotest.test_case "A006 stage-timing audit" `Quick
+      test_stage_timing_audit;
+    Alcotest.test_case "instrumented analyze records timings" `Quick
+      test_analyze_records_timings;
+    Alcotest.test_case "with_obs writes metrics and trace files" `Quick
+      test_with_obs_writes_files;
+  ]
