@@ -105,7 +105,24 @@ let analyze_file obs pcap_path mrt_path show_series sender_side jobs strict =
         results;
       0
 
-let check_file obs pcap_path mrt_path sender_side jobs strict =
+(* A007: analyze the same trace at jobs=1 (reference) and jobs>1
+   (candidate) with metrics on, and byte-compare the stable snapshot
+   sections — the runtime backstop for lint rule L007. *)
+let verify_determinism_diags ~config ~mrt ~jobs trace =
+  let reg = Tdat_obs.Metrics.default in
+  let was_enabled = Tdat_obs.Metrics.enabled reg in
+  Tdat_obs.Metrics.set_enabled reg true;
+  let snapshot jobs =
+    Tdat_obs.Metrics.reset reg;
+    ignore (Tdat.Analyzer.analyze_all ~config ?mrt ~audit:false ~jobs trace);
+    Tdat_obs.Metrics.snapshot_json ~stable_only:true reg
+  in
+  let reference = snapshot 1 in
+  let candidate = snapshot (if jobs > 1 then jobs else 2) in
+  Tdat_obs.Metrics.set_enabled reg was_enabled;
+  Tdat_audit.Checks.stable_snapshots_equal ~reference ~candidate ()
+
+let check_file obs pcap_path mrt_path sender_side jobs strict verify_det =
   Tdat_obs_cli.with_obs obs @@ fun () ->
   with_decode_errors @@ fun () ->
   match load ~strict pcap_path mrt_path sender_side with
@@ -153,6 +170,23 @@ let check_file obs pcap_path mrt_path sender_side jobs strict =
           true
         end
         else failed
+      in
+      let failed =
+        if not verify_det then failed
+        else begin
+          let diags =
+            verify_determinism_diags ~config
+              ~mrt:(mrt_records mrt_result)
+              ~jobs r.Tdat_pkt.Pcap.trace
+          in
+          Format.printf "determinism: %s@."
+            (if diags = [] then
+               "ok (stable metric snapshots identical across --jobs)"
+             else Printf.sprintf "%d finding(s)" (List.length diags));
+          if diags <> [] then
+            Format.printf "%a@." Tdat_audit.Diag.pp_report diags;
+          failed || Tdat_audit.Diag.errors diags <> []
+        end
       in
       if failed then 1 else 0
 
@@ -261,13 +295,22 @@ let check_cmd =
          \"Observability\".";
     ]
   in
+  let verify_determinism_arg =
+    let doc =
+      "Additionally run the A007 determinism audit: analyze the trace \
+       once at --jobs 1 and once at max(--jobs, 2) with metrics \
+       enabled, and fail unless the stable metric snapshots are \
+       byte-identical — the runtime backstop for lint rule L007."
+    in
+    Arg.(value & flag & info [ "verify-determinism" ] ~doc)
+  in
   Cmd.v
     (Cmd.info "check" ~doc ~man)
     Term.(
-      const (fun obs p m side j strict ->
-          check_file obs p m side (clamp_jobs j) strict)
+      const (fun obs p m side j strict vd ->
+          check_file obs p m side (clamp_jobs j) strict vd)
       $ Tdat_obs_cli.term $ pcap_arg $ mrt_arg $ sender_side_arg $ jobs_arg
-      $ strict_arg)
+      $ strict_arg $ verify_determinism_arg)
 
 let study_cmd =
   let archives_arg =

@@ -223,3 +223,35 @@ let stage_timings ?(subject = "stages") ~total_s timings =
     else []
   in
   negative @ overrun
+
+(* --- A007: cross-jobs determinism of stable metrics ------------------------ *)
+
+(* The runtime counterpart of lint rule L007: stable instruments are
+   only fed input-derived values through commutative atomic updates, so
+   the stable section of a metrics snapshot must be byte-identical
+   whatever --jobs value produced it.  A divergence means either a
+   wall-clock/config-dependent value leaked into a stable instrument or
+   worker-shared mutable state raced. *)
+
+let first_difference a b =
+  let n = min (String.length a) (String.length b) in
+  let rec go i = if i < n && Char.equal a.[i] b.[i] then go (i + 1) else i in
+  go 0
+
+let excerpt s i =
+  let start = if i < 24 then 0 else i - 24 in
+  let len = min 48 (String.length s - start) in
+  if len <= 0 then "" else String.sub s start len
+
+let stable_snapshots_equal ?(subject = "metrics") ~reference ~candidate () =
+  if String.equal reference candidate then []
+  else
+    let i = first_difference reference candidate in
+    [
+      Diag.error ~code:"A007" ~subject
+        "stable metric snapshots diverge across --jobs values at byte %d \
+         (reference %S vs candidate %S); a jobs-dependent value leaked into \
+         a stable instrument, or worker-shared mutable state raced — see \
+         lint rule L007"
+        i (excerpt reference i) (excerpt candidate i);
+    ]

@@ -21,10 +21,15 @@
       duration is finite and non-negative, and the stage durations sum
       to no more than the enclosing analyze span (the stages are
       measured as nested windows of one clock, so an overrun means the
-      instrumentation itself is lying).
+      instrumentation itself is lying);
+    - [A007] — cross-[--jobs] determinism: the stable section of a
+      metrics snapshot is byte-identical whatever [--jobs] value
+      produced it — the runtime backstop for lint rule L007's static
+      reachability approximation.
 
     [Analyzer.analyze ~audit:true] runs all of them over a full analysis;
-    [tdat_cli check] exposes them on the command line. *)
+    [tdat_cli check] exposes them on the command line
+    ([--verify-determinism] adds A007). *)
 
 val canonical_spans :
   ?subject:string -> Tdat_timerange.Span.t list -> Diag.t list
@@ -71,3 +76,13 @@ val stage_timings :
 (** [A006] on named stage durations (seconds): finite, non-negative,
     and summing to at most [total_s] plus measurement noise.  An empty
     timing list (uninstrumented run) passes vacuously. *)
+
+val stable_snapshots_equal :
+  ?subject:string -> reference:string -> candidate:string -> unit -> Diag.t list
+(** [A007]: byte-compare two
+    [Tdat_obs.Metrics.snapshot_json ~stable_only:true] strings, the
+    reference from a [jobs = 1] run and the candidate from a [jobs > 1]
+    run of the same input.  A divergence (reported with the offset and
+    both excerpts) means a jobs-dependent value leaked into a stable
+    instrument or worker-shared mutable state raced — the dynamic
+    failure mode lint rule L007 approximates statically. *)

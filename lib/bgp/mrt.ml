@@ -165,6 +165,17 @@ let bu32 b off =
   lor (Char.code (Bytes.get b (off + 2)) lsl 8)
   lor Char.code (Bytes.get b (off + 3))
 
+(* Cold branch of [parse_body], hoisted out of the hot set so the
+   formatting allocation stays off the per-record path (L009). *)
+let skipped_note ~idx ~ty ~subtype =
+  `Diag
+    {
+      Diag.code = "M005";
+      severity = Diag.Info;
+      record = Some idx;
+      message = Printf.sprintf "skipped record (type %d, subtype %d)" ty subtype;
+    }
+
 (* Parse one complete record body into an entry, or a diagnostic.  The
    header has already framed the record, so every problem here is
    skippable: salvage continues at the next record. *)
@@ -173,13 +184,9 @@ let parse_body ~idx ~sec ~ty ~subtype body =
   let warn code message =
     `Diag { Diag.code; severity = Diag.Warning; record = Some idx; message }
   in
-  let info code message =
-    `Diag { Diag.code; severity = Diag.Info; record = Some idx; message }
-  in
-  if ty <> bgp4mp && ty <> bgp4mp_et then
-    info "M005" (Printf.sprintf "skipped record (type %d, subtype %d)" ty subtype)
+  if ty <> bgp4mp && ty <> bgp4mp_et then skipped_note ~idx ~ty ~subtype
   else if subtype <> subtype_message && subtype <> subtype_state_change then
-    info "M005" (Printf.sprintf "skipped record (type %d, subtype %d)" ty subtype)
+    skipped_note ~idx ~ty ~subtype
   else if ty = bgp4mp_et && len < 4 then warn "M003" "short BGP4MP body"
   else begin
     let usec, p = if ty = bgp4mp_et then (u32 body 0, 4) else (0, 0) in

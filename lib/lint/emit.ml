@@ -1,0 +1,129 @@
+(* Report emitters.  JSON is hand-rolled (no external dependency) with
+   full string escaping; the SARIF output targets the 2.1.0 schema with
+   the minimal shape CI viewers need: tool.driver.rules metadata from
+   the registry plus one result per finding. *)
+
+let buf_add_json_string b s =
+  Buffer.add_char b '"';
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string b "\\\""
+      | '\\' -> Buffer.add_string b "\\\\"
+      | '\n' -> Buffer.add_string b "\\n"
+      | '\r' -> Buffer.add_string b "\\r"
+      | '\t' -> Buffer.add_string b "\\t"
+      | c when Char.code c < 0x20 ->
+          Buffer.add_string b (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char b c)
+    s;
+  Buffer.add_char b '"'
+
+let add_sep b first = if !first then first := false else Buffer.add_string b ","
+
+(* --- text ----------------------------------------------------------------- *)
+
+let text findings =
+  let b = Buffer.create 1024 in
+  List.iter
+    (fun f ->
+      Buffer.add_string b (Finding.to_line f);
+      Buffer.add_char b '\n')
+    findings;
+  Buffer.contents b
+
+(* --- json ----------------------------------------------------------------- *)
+
+let json ~files_scanned findings =
+  let b = Buffer.create 4096 in
+  Buffer.add_string b "{\"tool\":\"tdat-lint\",\"files_scanned\":";
+  Buffer.add_string b (string_of_int files_scanned);
+  Buffer.add_string b ",\"findings\":[";
+  let first = ref true in
+  List.iter
+    (fun (f : Finding.t) ->
+      add_sep b first;
+      Buffer.add_string b "{\"file\":";
+      buf_add_json_string b f.file;
+      Buffer.add_string b ",\"line\":";
+      Buffer.add_string b (string_of_int f.line);
+      Buffer.add_string b ",\"col\":";
+      Buffer.add_string b (string_of_int f.col);
+      Buffer.add_string b ",\"code\":";
+      buf_add_json_string b f.code;
+      Buffer.add_string b ",\"severity\":";
+      buf_add_json_string b (Finding.severity_name f.severity);
+      Buffer.add_string b ",\"message\":";
+      buf_add_json_string b f.message;
+      Buffer.add_string b "}")
+    findings;
+  Buffer.add_string b "]}\n";
+  Buffer.contents b
+
+(* --- sarif ---------------------------------------------------------------- *)
+
+let sarif_level = function
+  | Finding.Error -> "error"
+  | Finding.Warning -> "warning"
+
+let sarif_uri file =
+  String.map (fun c -> if c = '\\' then '/' else c) file
+
+let sarif findings =
+  let rules = Registry.all in
+  let rule_index id =
+    let rec go i = function
+      | [] -> -1
+      | (r : Registry.rule) :: rest ->
+          if String.equal r.id id then i else go (i + 1) rest
+    in
+    go 0 rules
+  in
+  let b = Buffer.create 8192 in
+  Buffer.add_string b
+    "{\"$schema\":\"https://json.schemastore.org/sarif-2.1.0.json\",\
+     \"version\":\"2.1.0\",\"runs\":[{\"tool\":{\"driver\":{\
+     \"name\":\"tdat-lint\",\"informationUri\":\
+     \"https://example.invalid/tdat\",\"rules\":[";
+  let first = ref true in
+  List.iter
+    (fun (r : Registry.rule) ->
+      add_sep b first;
+      Buffer.add_string b "{\"id\":";
+      buf_add_json_string b r.id;
+      Buffer.add_string b ",\"shortDescription\":{\"text\":";
+      buf_add_json_string b r.summary;
+      Buffer.add_string b "},\"fullDescription\":{\"text\":";
+      buf_add_json_string b r.doc;
+      Buffer.add_string b "},\"defaultConfiguration\":{\"level\":";
+      buf_add_json_string b (sarif_level r.severity);
+      Buffer.add_string b "}}")
+    rules;
+  Buffer.add_string b "]}},\"results\":[";
+  let first = ref true in
+  List.iter
+    (fun (f : Finding.t) ->
+      add_sep b first;
+      Buffer.add_string b "{\"ruleId\":";
+      buf_add_json_string b f.code;
+      let idx = rule_index f.code in
+      if idx >= 0 then (
+        Buffer.add_string b ",\"ruleIndex\":";
+        Buffer.add_string b (string_of_int idx));
+      Buffer.add_string b ",\"level\":";
+      buf_add_json_string b (sarif_level f.severity);
+      Buffer.add_string b ",\"message\":{\"text\":";
+      buf_add_json_string b f.message;
+      Buffer.add_string b
+        "},\"locations\":[{\"physicalLocation\":{\"artifactLocation\":{\
+         \"uri\":";
+      buf_add_json_string b (sarif_uri f.file);
+      Buffer.add_string b "},\"region\":{\"startLine\":";
+      Buffer.add_string b (string_of_int (max 1 f.line));
+      Buffer.add_string b ",\"startColumn\":";
+      (* findings carry 0-based columns; SARIF regions are 1-based *)
+      Buffer.add_string b (string_of_int (f.col + 1));
+      Buffer.add_string b "}}}]}")
+    findings;
+  Buffer.add_string b "]}]}\n";
+  Buffer.contents b

@@ -1,0 +1,9 @@
+(** Report emitters: classic one-line text, machine-readable JSON, and
+    SARIF 2.1.0 (rule metadata from {!Registry.all}, one result per
+    finding, 1-based regions). *)
+
+val text : Finding.t list -> string
+
+val json : files_scanned:int -> Finding.t list -> string
+
+val sarif : Finding.t list -> string

@@ -1,0 +1,148 @@
+(* The lint driver: walk the roots, parse and scan every [.ml] file on
+   the Domain pool, run the whole-repo passes over the merged index,
+   apply suppressions, and return deterministically sorted findings.
+
+   Self-measurement goes through [Tdat_obs]: stable counters for file /
+   finding totals (identical across [--jobs] values) and spans around
+   the scan and reach stages for [--trace]. *)
+
+module Obs = Tdat_obs
+module Pool = Tdat_parallel.Pool
+
+type config = {
+  roots : string list;
+  treat_as_lib : bool;
+  jobs : int option;
+  selection : Registry.selection;
+  extra_hot : (string * Rules_file.hot_scope) list;
+}
+
+let default_config =
+  {
+    roots = [ "lib"; "bin"; "bench"; "examples" ];
+    treat_as_lib = false;
+    jobs = None;
+    selection = Registry.default_selection;
+    extra_hot = [];
+  }
+
+type outcome = { findings : Finding.t list; files_scanned : int }
+
+let files_scanned_c = Obs.Metrics.Counter.make "lint.files_scanned"
+let findings_c = Obs.Metrics.Counter.make "lint.findings"
+let parse_errors_c = Obs.Metrics.Counter.make "lint.parse_errors"
+
+(* --- file discovery ------------------------------------------------------- *)
+
+let rec ml_files_under path =
+  if not (Sys.file_exists path) then []
+  else if Sys.is_directory path then
+    Sys.readdir path |> Array.to_list
+    |> List.filter (fun n ->
+           String.length n > 0 && n.[0] <> '.' && not (String.equal n "_build"))
+    |> List.sort String.compare
+    |> List.concat_map (fun n -> ml_files_under (Filename.concat path n))
+  else if Filename.check_suffix path ".ml" then [ path ]
+  else []
+
+(* --- parsing -------------------------------------------------------------- *)
+
+(* compiler-libs keeps lexer state in module-level mutable tables —
+   precisely the shape L007 exists to catch — so parsing is serialized
+   across the pool even though everything downstream of the parsetree
+   is embarrassingly parallel. *)
+let parse_mutex = Mutex.create ()
+
+let parse_string ~file src =
+  let lexbuf = Lexing.from_string src in
+  Lexing.set_filename lexbuf file;
+  Mutex.protect parse_mutex (fun () -> Parse.implementation lexbuf)
+
+let read_parse file =
+  match In_channel.with_open_bin file In_channel.input_all with
+  | exception Sys_error msg -> Error (Printf.sprintf "cannot read file: %s" msg)
+  | src -> (
+      match parse_string ~file src with
+      | str -> Ok str
+      | exception exn ->
+          Error (Printf.sprintf "parse error: %s" (Printexc.to_string exn)))
+
+(* --- per-file scan -------------------------------------------------------- *)
+
+type scan = {
+  sc_findings : Finding.t list;
+  sc_supps : Suppress.t list;
+  sc_index : Module_index.t option;
+}
+
+let scan_file ~enabled ~treat_as_lib ~hot_paths file =
+  Obs.Metrics.Counter.incr files_scanned_c;
+  match read_parse file with
+  | Error msg ->
+      Obs.Metrics.Counter.incr parse_errors_c;
+      {
+        sc_findings =
+          [
+            Finding.v ~file ~line:1 ~col:0 ~code:"L000"
+              ~severity:(Registry.severity_of "L000") msg;
+          ];
+        sc_supps = [];
+        sc_index = None;
+      }
+  | Ok str ->
+      let in_lib = treat_as_lib || Ident.in_lib file in
+      let module_name = Ident.module_of_path file in
+      {
+        sc_findings =
+          Rules_file.check ~enabled ~in_lib ~hot_paths ~module_name str;
+        sc_supps = Suppress.collect ~file str;
+        sc_index = Some (Module_index.of_structure ~file ~in_lib str);
+      }
+
+(* --- driver --------------------------------------------------------------- *)
+
+let run cfg =
+  let enabled = Registry.enabled cfg.selection in
+  (* extras first so [--hot] can shadow a default entry for the same
+     module *)
+  let hot_paths = cfg.extra_hot @ Rules_file.default_hot_paths in
+  let files =
+    List.concat_map ml_files_under cfg.roots |> List.sort_uniq String.compare
+  in
+  let scans =
+    Obs.Span.with_ ~name:"lint-scan" (fun () ->
+        Pool.with_pool ?jobs:cfg.jobs (fun pool ->
+            Pool.map pool
+              (scan_file ~enabled ~treat_as_lib:cfg.treat_as_lib ~hot_paths)
+              files))
+  in
+  let per_file = List.concat_map (fun s -> s.sc_findings) scans in
+  let indexes = List.filter_map (fun s -> s.sc_index) scans in
+  let repo =
+    Obs.Span.with_ ~name:"lint-reach" (fun () -> Reach.check ~enabled indexes)
+  in
+  let supps = List.concat_map (fun s -> s.sc_supps) scans in
+  let kept = Suppress.apply supps (per_file @ repo) in
+  (* A suppression of a whole-repo rule only counts as unused when the
+     scan could actually have produced that rule's findings — i.e. some
+     pool entry point was in scope.  Otherwise a partial scan
+     (tdat-lint lib/obs) would flag every L007 allowlist as stale. *)
+  let have_entries =
+    List.exists (fun ix -> ix.Module_index.i_entries <> []) indexes
+  in
+  let countable code =
+    enabled code
+    && (have_entries
+       ||
+       match Registry.find code with
+       | Some { Registry.pass = Registry.Whole_repo; _ } -> false
+       | Some _ | None -> true)
+  in
+  let unused =
+    if enabled "L010" then
+      Suppress.unused_findings ~rule_was_enabled:countable supps
+    else []
+  in
+  let findings = Finding.sort (kept @ unused) in
+  Obs.Metrics.Counter.add findings_c (List.length findings);
+  { findings; files_scanned = List.length files }

@@ -1,0 +1,50 @@
+type severity = Error | Warning
+
+let severity_name = function Error -> "error" | Warning -> "warning"
+
+type t = {
+  file : string;
+  line : int;
+  col : int;
+  code : string;
+  severity : severity;
+  message : string;
+}
+
+let v ~file ~line ~col ~code ~severity message =
+  { file; line; col; code; severity; message }
+
+let of_position (p : Lexing.position) ~code ~severity message =
+  {
+    file = p.Lexing.pos_fname;
+    line = p.Lexing.pos_lnum;
+    col = p.Lexing.pos_cnum - p.Lexing.pos_bol;
+    code;
+    severity;
+    message;
+  }
+
+let of_loc (loc : Location.t) ~code ~severity message =
+  of_position loc.Location.loc_start ~code ~severity message
+
+(* Full tie-break chain — file, line, col, code, message — so two
+   findings on one line render in a stable order whatever the rule
+   passes produced them in (JSON/SARIF output is diffed in CI). *)
+let compare a b =
+  match String.compare a.file b.file with
+  | 0 -> (
+      match Int.compare a.line b.line with
+      | 0 -> (
+          match Int.compare a.col b.col with
+          | 0 -> (
+              match String.compare a.code b.code with
+              | 0 -> String.compare a.message b.message
+              | c -> c)
+          | c -> c)
+      | c -> c)
+  | c -> c
+
+let sort findings = List.sort compare findings
+
+let to_line f =
+  Printf.sprintf "%s:%d:%d: [%s] %s" f.file f.line f.col f.code f.message

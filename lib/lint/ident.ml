@@ -1,0 +1,32 @@
+let rec last_module = function
+  | Longident.Lident _ -> None
+  | Longident.Ldot (Longident.Lident m, _) -> Some m
+  | Longident.Ldot (p, _) -> (
+      match p with
+      | Longident.Ldot (_, m) -> Some m
+      | _ -> last_module p)
+  | Longident.Lapply (_, p) -> last_module p
+
+let name = function
+  | Longident.Lident n | Longident.Ldot (_, n) -> Some n
+  | Longident.Lapply _ -> None
+
+let module_of_path path =
+  String.capitalize_ascii (Filename.remove_extension (Filename.basename path))
+
+(* Path components of the directory part, [Filename]-normalized, so
+   "lib/core/x.ml", "./lib/core/x.ml", "/repo/lib/core/x.ml" and
+   "_build/default/lib/core/x.ml" all expose a "lib" component.  The
+   old prefix-string compare (String.sub path 0 4 = "lib/") silently
+   skipped library-only rules for absolute and dune-exec-relative
+   paths. *)
+let dir_components path =
+  let rec go acc dir =
+    let parent = Filename.dirname dir in
+    if String.equal parent dir then acc
+    else go (Filename.basename dir :: acc) parent
+  in
+  go [] (Filename.dirname path)
+
+let in_lib path =
+  List.exists (String.equal "lib") (dir_components path)

@@ -1,0 +1,50 @@
+(** Per-file summaries feeding the whole-repo passes (L007/L008).
+
+    The index is purely syntactic: one call-graph node per top-level
+    binding whose out-edges are every identifier its body mentions, a
+    table of module-level mutable bindings ([ref], [Hashtbl.create],
+    array literals, mutable-field records, ...) and the Domain-pool
+    worker entry points ([Pool.map]/[with_pool]/[run],
+    [Analyzer.analyze_all], [Aggregate.run]).  It over-approximates by
+    construction; the A007 runtime audit backstops it. *)
+
+type target =
+  | Local of string  (** unqualified ident — resolved within the file *)
+  | Qualified of string * string  (** [M.x] — innermost module, name *)
+
+type mutable_binding = {
+  m_module : string;
+  m_name : string;
+  m_file : string;
+  m_line : int;
+  m_col : int;
+  m_kind : string;  (** e.g. ["ref"], ["Hashtbl.create"], ["array literal"] *)
+  m_in_lib : bool;
+}
+
+type node = {
+  n_module : string;
+  n_name : string;
+  n_file : string;
+  n_file_module : string;
+  n_refs : target list;
+  n_mutations : (target * (int * int)) list;  (** target, (line, col) *)
+}
+
+type entry = {
+  e_label : string;  (** e.g. ["Pool.map"] — named in L007 messages *)
+  e_module : string;
+  e_file_module : string;
+  e_targets : target list;  (** idents the call's arguments mention *)
+}
+
+type t = {
+  i_file : string;
+  i_module : string;
+  i_in_lib : bool;
+  i_mutables : mutable_binding list;
+  i_nodes : node list;
+  i_entries : entry list;
+}
+
+val of_structure : file:string -> in_lib:bool -> Parsetree.structure -> t

@@ -1,0 +1,171 @@
+(* The whole-repo passes.
+
+   L007: breadth-first reachability from pool-worker entry points over
+   the merged call graph; any module-level mutable binding a reachable
+   node references is shared state a worker can touch without
+   synchronisation.
+
+   L008: any mutation site whose target resolves to a mutable binding
+   owned by a *different* module bypasses the owner's API.
+
+   Both passes resolve [Local n] against the node's own module first and
+   its file's top module second; [Qualified (m, n)] goes through the
+   repo-wide module key, merging same-named modules conservatively (two
+   [Report] submodules share one key — over-approximation, never a
+   missed edge). *)
+
+type graph = {
+  g_mutables : (string * string, Module_index.mutable_binding) Hashtbl.t;
+  g_nodes : (string * string, Module_index.node) Hashtbl.t;
+}
+
+let build (indexes : Module_index.t list) =
+  let g =
+    {
+      g_mutables = Hashtbl.create 64;
+      g_nodes = Hashtbl.create 256;
+    }
+  in
+  List.iter
+    (fun (ix : Module_index.t) ->
+      List.iter
+        (fun (m : Module_index.mutable_binding) ->
+          Hashtbl.add g.g_mutables (m.m_module, m.m_name) m)
+        ix.i_mutables;
+      List.iter
+        (fun (n : Module_index.node) ->
+          Hashtbl.add g.g_nodes (n.n_module, n.n_name) n)
+        ix.i_nodes)
+    indexes;
+  g
+
+(* All keys a target can resolve to, most-specific first. *)
+let candidate_keys ~own_module ~file_module = function
+  | Module_index.Local n ->
+      if String.equal own_module file_module then [ (own_module, n) ]
+      else [ (own_module, n); (file_module, n) ]
+  | Module_index.Qualified (m, n) -> [ (m, n) ]
+
+let find_all tbl keys =
+  List.concat_map (fun k -> Hashtbl.find_all tbl k) keys
+
+(* --- L007 ----------------------------------------------------------------- *)
+
+let l007_message (m : Module_index.mutable_binding) entry =
+  Printf.sprintf
+    "module-level mutable state %s.%s (%s) is reachable from Domain-pool \
+     workers via %s; use Atomic or Domain.DLS, or guard it with a Mutex and \
+     allowlist the binding with [@@tdat.lint.allow \"L007\"]"
+    m.m_module m.m_name m.m_kind entry
+
+let reachable_mutables (g : graph) (entries : Module_index.entry list) =
+  (* (file, line, module, name) identifies a binding across Hashtbl
+     duplicates; first entry label to reach it wins (entries are in
+     deterministic file order). *)
+  let hit : (string * int * string * string, string) Hashtbl.t =
+    Hashtbl.create 16
+  in
+  let visited : (string * string, unit) Hashtbl.t = Hashtbl.create 256 in
+  let queue = Queue.create () in
+  let touch ~own_module ~file_module ~entry target =
+    let keys = candidate_keys ~own_module ~file_module target in
+    List.iter
+      (fun (m : Module_index.mutable_binding) ->
+        let id = (m.m_file, m.m_line, m.m_module, m.m_name) in
+        if not (Hashtbl.mem hit id) then Hashtbl.replace hit id entry)
+      (find_all g.g_mutables keys);
+    List.iter
+      (fun key ->
+        if Hashtbl.mem g.g_nodes key && not (Hashtbl.mem visited key) then (
+          Hashtbl.replace visited key ();
+          Queue.add (key, entry) queue))
+      keys
+  in
+  List.iter
+    (fun (e : Module_index.entry) ->
+      List.iter
+        (touch ~own_module:e.e_module ~file_module:e.e_file_module
+           ~entry:e.e_label)
+        e.e_targets)
+    entries;
+  while not (Queue.is_empty queue) do
+    let key, entry = Queue.take queue in
+    List.iter
+      (fun (n : Module_index.node) ->
+        List.iter
+          (touch ~own_module:n.n_module ~file_module:n.n_file_module ~entry)
+          n.n_refs)
+      (Hashtbl.find_all g.g_nodes key)
+  done;
+  hit
+
+let l007 (g : graph) (indexes : Module_index.t list) =
+  let entries = List.concat_map (fun ix -> ix.Module_index.i_entries) indexes in
+  let hit = reachable_mutables g entries in
+  List.concat_map
+    (fun (ix : Module_index.t) ->
+      List.filter_map
+        (fun (m : Module_index.mutable_binding) ->
+          if not m.m_in_lib then None
+          else
+            match
+              Hashtbl.find_opt hit (m.m_file, m.m_line, m.m_module, m.m_name)
+            with
+            | Some entry ->
+                Some
+                  (Finding.v ~file:m.m_file ~line:m.m_line ~col:m.m_col
+                     ~code:"L007"
+                     ~severity:(Registry.severity_of "L007")
+                     (l007_message m entry))
+            | None -> None)
+        ix.i_mutables)
+    indexes
+
+(* --- L008 ----------------------------------------------------------------- *)
+
+let l008_message (m : Module_index.mutable_binding) =
+  Printf.sprintf
+    "mutation of %s.%s, module-level mutable state owned by %s; route the \
+     change through an operation exported by the owning module"
+    m.m_module m.m_name m.m_file
+
+let l008 (g : graph) (indexes : Module_index.t list) =
+  List.concat_map
+    (fun (ix : Module_index.t) ->
+      List.concat_map
+        (fun (n : Module_index.node) ->
+          List.filter_map
+            (fun (target, (line, col)) ->
+              match target with
+              | Module_index.Local _ -> None
+              | Module_index.Qualified (m, x) ->
+                  if
+                    String.equal m n.n_module
+                    || String.equal m n.n_file_module
+                  then None
+                  else
+                    let owners = Hashtbl.find_all g.g_mutables (m, x) in
+                    let owners =
+                      List.filter
+                        (fun (o : Module_index.mutable_binding) -> o.m_in_lib)
+                        owners
+                    in
+                    (match owners with
+                    | [] -> None
+                    | owner :: _ ->
+                        Some
+                          (Finding.v ~file:n.n_file ~line ~col ~code:"L008"
+                             ~severity:(Registry.severity_of "L008")
+                             (l008_message owner))))
+            n.n_mutations)
+        ix.i_nodes)
+    indexes
+
+let check ~enabled (indexes : Module_index.t list) =
+  let want_l007 = enabled "L007" and want_l008 = enabled "L008" in
+  if not (want_l007 || want_l008) then []
+  else
+    let g = build indexes in
+    let f7 = if want_l007 then l007 g indexes else [] in
+    let f8 = if want_l008 then l008 g indexes else [] in
+    f7 @ f8

@@ -1,0 +1,12 @@
+(** Whole-repo passes over the merged module index.
+
+    L007 — conservative reachability from Domain-pool entry points to
+    module-level mutable bindings (worker-shared unsynchronised state).
+    L008 — cross-module mutation of such bindings, bypassing the owning
+    module's API. *)
+
+val check :
+  enabled:(string -> bool) -> Module_index.t list -> Finding.t list
+(** Run the enabled whole-repo rules.  Returns nothing when neither
+    L007 nor L008 is enabled, so per-file-only runs skip graph
+    construction entirely. *)

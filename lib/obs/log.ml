@@ -47,7 +47,10 @@ type sink =
   | To_buffer of Buffer.t
   | To_null
 
-let sink = ref (To_channel Stdlib.stderr)
+(* Worker-reachable by design: pool workers log.  Every read and write
+   of [sink] happens under [mutex] below, which is what the L007
+   allowlist asserts. *)
+let sink = ref (To_channel Stdlib.stderr) [@@tdat.lint.allow "L007"]
 
 (* One mutex serializes emission from concurrent domains (pool workers
    log too); it also guards [sink] swaps. *)

@@ -103,7 +103,12 @@ end
 module Histogram = struct
   type t = histogram
 
-  let default_buckets = [| 1.; 10.; 100.; 1e3; 1e4; 1e5; 1e6 |]
+  (* A read-only bound table: exposed as [float array] for
+     [?buckets], never written (make copies it into the histogram's
+     own layout).  Worker-reachable but write-free, hence the L007
+     allowlist. *)
+  let default_buckets =
+    [| 1.; 10.; 100.; 1e3; 1e4; 1e5; 1e6 |] [@@tdat.lint.allow "L007"]
 
   (* A strictly increasing 1-2-5 ladder from [lo] to at most [hi]. *)
   let ladder lo hi =

@@ -10,7 +10,13 @@ let enabled () = Atomic.get on
    reached through a DLS key), so emission is contention-free; the
    buffers register themselves in [buffers] on first use and survive
    their domain's termination. *)
-let buffers : event list ref list ref = ref []
+(* Worker-reachable by design: this is the per-domain buffer registry.
+   Registration (the only mutation) happens under [bmutex]; recording
+   itself goes to the domain-local ref, never through this list.  The
+   L007 allowlist asserts exactly that discipline. *)
+let buffers : event list ref list ref =
+  ref [] [@@tdat.lint.allow "L007"]
+
 let bmutex = Mutex.create ()
 
 let key =

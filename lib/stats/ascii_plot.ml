@@ -1,4 +1,4 @@
-let glyphs = [| '*'; '+'; 'o'; 'x'; '#'; '@'; '%'; '&' |]
+let glyphs = "*+ox#@%&"
 
 let make_grid width height = Array.make_matrix height width ' '
 
@@ -45,7 +45,7 @@ let cdf ?(width = 64) ?(height = 16) ?(x_label = "") series =
   let grid = make_grid width height in
   List.iteri
     (fun i (_, pts) ->
-      let glyph = glyphs.(i mod Array.length glyphs) in
+      let glyph = glyphs.[i mod String.length glyphs] in
       (* Densify the step curve so it reads as a line. *)
       let dense =
         List.concat_map
@@ -57,7 +57,7 @@ let cdf ?(width = 64) ?(height = 16) ?(x_label = "") series =
   let legend =
     series
     |> List.mapi (fun i (name, _) ->
-           Printf.sprintf "  %c %s" glyphs.(i mod Array.length glyphs) name)
+           Printf.sprintf "  %c %s" glyphs.[i mod String.length glyphs] name)
     |> String.concat "\n"
   in
   render_grid ~x_label ~y_label:"CDF" grid ~y_max:1.0 ~x_min ~x_max

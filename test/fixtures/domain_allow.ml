@@ -1,0 +1,10 @@
+(* Suppression fixture: the same worker-reachable ref as
+   domain_bad.ml, but allowlisted with [@@tdat.lint.allow "L007"] —
+   the linter must exit 0 and report nothing (the suppression is
+   used, so no L010 either). *)
+
+let total = ref 0 [@@tdat.lint.allow "L007"]
+
+let bump xs = List.iter (fun x -> total := !total + x) xs
+
+let run_all pool xs = Pool.map pool bump xs

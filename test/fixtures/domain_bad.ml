@@ -1,0 +1,10 @@
+(* L007 fixture: module-level mutable state reachable from a Domain
+   pool worker.  [total] is a plain ref, [bump] mutates it, and
+   [run_all] hands [bump] to [Pool.map] — linted with --treat-as-lib
+   this must fail with exactly one L007 at the [total] binding. *)
+
+let total = ref 0
+
+let bump xs = List.iter (fun x -> total := !total + x) xs
+
+let run_all pool xs = Pool.map pool bump xs

@@ -1,0 +1,9 @@
+(* Unused-suppression fixture: the ref from domain_allow.ml was fixed
+   (now an immutable int) but the allowlist attribute was left behind.
+   The linter must report L010 at the stale attribute. *)
+
+let total = 0 [@@tdat.lint.allow "L007"]
+
+let bump xs = List.fold_left (fun acc x -> acc + x) total xs
+
+let run_all pool xs = Pool.map pool bump xs

@@ -1,0 +1,8 @@
+(* L009 fixture: [join] is made hot with --hot Hot_alloc.join; its
+   String.concat must then be reported, while the identical idiom in
+   [cold] (outside the hot set) stays silent.  Without --hot the file
+   is clean. *)
+
+let join xs = String.concat "," xs
+
+let cold xs = String.concat ";" xs

@@ -1,0 +1,7 @@
+(* L008 fixture, owner half: a module-level table with an exported
+   mutation API.  Mutating it from another module (l8_user.ml) must
+   trigger L008; [register] below, owning-module mutation, must not. *)
+
+let table : (string, int) Hashtbl.t = Hashtbl.create 16
+
+let register k v = Hashtbl.replace table k v

@@ -1,0 +1,7 @@
+(* L008 fixture, user half: reaches into l8_owner.ml's table and
+   mutates it directly instead of going through [L8_owner.register].
+   Linted together with the owner this must fail with L008 here. *)
+
+let sneak () = Hashtbl.replace L8_owner.table "sneaky" 1
+
+let polite () = L8_owner.register "polite" 2

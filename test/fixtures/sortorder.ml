@@ -1,0 +1,4 @@
+(* Ordering fixture: two L001 violations on one line — findings must
+   come out sorted by column (the file/line sort's tie-break). *)
+
+let pair a b = (compare a b, compare b a)

@@ -252,6 +252,24 @@ let test_scenario_vendor_clean () =
     (audit_outcome ~mrt:false (List.hd result.Scenario.outcomes))
     ()
 
+let test_a007_accepts_identical_snapshots () =
+  let snap = "{\"counters\":{\"x\":3},\"histograms\":{}}" in
+  let diags =
+    Tdat_audit.Checks.stable_snapshots_equal ~reference:snap ~candidate:snap ()
+  in
+  Alcotest.(check int) "identical snapshots are clean" 0 (List.length diags)
+
+let test_a007_detects_divergence () =
+  let diags =
+    Tdat_audit.Checks.stable_snapshots_equal ~subject:"test-run"
+      ~reference:"{\"a\":1}" ~candidate:"{\"a\":2}" ()
+  in
+  match diags with
+  | [ d ] ->
+      Alcotest.(check string) "code" "A007" d.Tdat_audit.Diag.code;
+      Alcotest.(check bool) "is error" true (Tdat_audit.Diag.is_error d)
+  | _ -> Alcotest.fail "expected exactly one A007 diagnostic"
+
 let suite =
   [
     prop_of_spans_canonical;
@@ -277,6 +295,10 @@ let suite =
     Alcotest.test_case "A005 bad ratios" `Quick test_a005_detects_bad_ratios;
     Alcotest.test_case "A005 oversized series" `Quick
       test_a005_detects_oversized_series;
+    Alcotest.test_case "A007 identical snapshots" `Quick
+      test_a007_accepts_identical_snapshots;
+    Alcotest.test_case "A007 divergent snapshots" `Quick
+      test_a007_detects_divergence;
     Alcotest.test_case "audit clean: timer scenario" `Slow
       test_scenario_timer_clean;
     Alcotest.test_case "audit clean: window scenario" `Slow

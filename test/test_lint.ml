@@ -1,8 +1,13 @@
 (* tdat-lint: drive the built linter executable over the fixture files.
-   The bad fixture seeds one violation per rule and must make the linter
-   exit non-zero with every code reported — this is the negative test
-   behind the [@lint] alias's guarantee.  The clean fixture is the same
-   code written the compliant way and must pass. *)
+   The bad fixture seeds one violation per per-file rule and must make
+   the linter exit non-zero with every code reported — the negative
+   test behind the [@lint] alias's guarantee.  The domain_* fixtures do
+   the same for the whole-repo passes: a worker-reachable module-level
+   ref must fail with L007, allowlisting it must pass, and a stale
+   allowlist must come back as L010.  Also covered: L008 cross-module
+   mutation, the --hot-driven L009 allocation lint, lib/ detection by
+   path component (not string prefix), deterministic finding order
+   across --jobs, --rules selection, and the JSON/SARIF emitters. *)
 
 let lint_exe = Filename.concat ".." (Filename.concat "bin" "tdat_lint.exe")
 
@@ -32,27 +37,29 @@ let contains_substring haystack needle =
   let rec at i = i + nn <= nh && (String.sub haystack i nn = needle || at (i + 1)) in
   at 0
 
+let has_code lines code =
+  let tag = Printf.sprintf "[%s]" code in
+  List.exists (fun line -> contains_substring line tag) lines
+
+let fixture name = Filename.concat "fixtures" name
+
 let codes = [ "L001"; "L002"; "L003"; "L004"; "L005"; "L006" ]
 
+(* --- the original per-file rules ------------------------------------------ *)
+
 let test_bad_fixture_fails () =
-  let exit_code, lines =
-    run_lint [ "--treat-as-lib"; Filename.concat "fixtures" "lint_bad.ml" ]
-  in
+  let exit_code, lines = run_lint [ "--treat-as-lib"; fixture "lint_bad.ml" ] in
   Alcotest.(check int) "non-zero exit on seeded violations" 1 exit_code;
   List.iter
     (fun code ->
       (* Finding format: file:line:col: [Lnnn] message *)
-      let tag = Printf.sprintf "[%s]" code in
       Alcotest.(check bool)
         (Printf.sprintf "code %s reported" code)
-        true
-        (List.exists (fun line -> contains_substring line tag) lines))
+        true (has_code lines code))
     codes
 
 let test_bad_fixture_findings_located () =
-  let _, lines =
-    run_lint [ "--treat-as-lib"; Filename.concat "fixtures" "lint_bad.ml" ]
-  in
+  let _, lines = run_lint [ "--treat-as-lib"; fixture "lint_bad.ml" ] in
   Alcotest.(check bool) "at least five findings" true (List.length lines >= 5);
   List.iter
     (fun line ->
@@ -64,10 +71,347 @@ let test_bad_fixture_findings_located () =
 
 let test_clean_fixture_passes () =
   let exit_code, lines =
-    run_lint [ "--treat-as-lib"; Filename.concat "fixtures" "lint_clean.ml" ]
+    run_lint [ "--treat-as-lib"; fixture "lint_clean.ml" ]
   in
   Alcotest.(check int) "zero exit on clean file" 0 exit_code;
   Alcotest.(check (list string)) "no findings" [] lines
+
+(* --- lib/ detection by path component (not string prefix) ----------------- *)
+
+(* Regression for the old [String.sub path 0 4 = "lib/"] check: a file
+   under a lib/ directory reached through an absolute path must still
+   get the library-only rules (L005 here), with no --treat-as-lib. *)
+let test_lib_detection_absolute_path () =
+  let dir = Filename.temp_file "tdat_lint" "" in
+  Sys.remove dir;
+  Unix.mkdir dir 0o755;
+  let libdir = Filename.concat dir "lib" in
+  Unix.mkdir libdir 0o755;
+  let file = Filename.concat libdir "sample.ml" in
+  Fun.protect
+    ~finally:(fun () ->
+      (try Sys.remove file with Sys_error _ -> ());
+      (try Unix.rmdir libdir with Unix.Unix_error _ -> ());
+      try Unix.rmdir dir with Unix.Unix_error _ -> ())
+    (fun () ->
+      Out_channel.with_open_text file (fun oc ->
+          output_string oc "let boom () = failwith \"nope\"\n");
+      Alcotest.(check bool) "temp path is absolute" true
+        (not (Filename.is_relative file));
+      let exit_code, lines = run_lint [ file ] in
+      Alcotest.(check int) "absolute lib/ path fails" 1 exit_code;
+      Alcotest.(check bool) "L005 reported" true (has_code lines "L005"))
+
+let test_non_lib_path_skips_lib_rules () =
+  (* The same failwith outside any lib/ directory is not a finding. *)
+  let dir = Filename.temp_file "tdat_lint" "" in
+  Sys.remove dir;
+  Unix.mkdir dir 0o755;
+  let file = Filename.concat dir "sample.ml" in
+  Fun.protect
+    ~finally:(fun () ->
+      (try Sys.remove file with Sys_error _ -> ());
+      try Unix.rmdir dir with Unix.Unix_error _ -> ())
+    (fun () ->
+      Out_channel.with_open_text file (fun oc ->
+          output_string oc "let boom () = failwith \"nope\"\n");
+      let exit_code, lines = run_lint [ file ] in
+      Alcotest.(check int) "non-lib path passes" 0 exit_code;
+      Alcotest.(check (list string)) "no findings" [] lines)
+
+(* --- deterministic ordering ----------------------------------------------- *)
+
+let test_same_line_findings_sorted_by_col () =
+  let exit_code, lines =
+    run_lint [ "--treat-as-lib"; fixture "sortorder.ml" ]
+  in
+  Alcotest.(check int) "two seeded violations fail" 1 exit_code;
+  Alcotest.(check int) "two findings" 2 (List.length lines);
+  let col line =
+    (* file:line:col: ... *)
+    match String.split_on_char ':' line with
+    | _file :: _line :: col :: _ -> int_of_string col
+    | _ -> Alcotest.fail ("unparseable finding line: " ^ line)
+  in
+  match lines with
+  | [ a; b ] ->
+      Alcotest.(check bool) "columns strictly increasing" true (col a < col b)
+  | _ -> Alcotest.fail "expected exactly two findings"
+
+let test_output_identical_across_jobs () =
+  let run jobs =
+    run_lint [ "--treat-as-lib"; "--jobs"; string_of_int jobs; "fixtures" ]
+  in
+  let c1, l1 = run 1 in
+  let c3, l3 = run 3 in
+  Alcotest.(check int) "same exit code" c1 c3;
+  Alcotest.(check (list string)) "byte-identical findings" l1 l3;
+  Alcotest.(check bool) "the directory scan does find things" true
+    (List.length l1 > 0)
+
+(* --- L007 / suppression / L010 -------------------------------------------- *)
+
+let test_l007_worker_reachable_ref () =
+  let exit_code, lines =
+    run_lint [ "--treat-as-lib"; fixture "domain_bad.ml" ]
+  in
+  Alcotest.(check int) "seeded L007 fails" 1 exit_code;
+  Alcotest.(check bool) "L007 reported" true (has_code lines "L007");
+  Alcotest.(check bool) "finding names the entry point" true
+    (List.exists (fun l -> contains_substring l "Pool.map") lines)
+
+let test_l007_suppression_honored () =
+  let exit_code, lines =
+    run_lint [ "--treat-as-lib"; fixture "domain_allow.ml" ]
+  in
+  Alcotest.(check int) "allowlisted fixture passes" 0 exit_code;
+  Alcotest.(check (list string)) "no findings at all" [] lines
+
+let test_l010_stale_suppression_reported () =
+  let exit_code, lines =
+    run_lint [ "--treat-as-lib"; fixture "domain_stale.ml" ]
+  in
+  Alcotest.(check int) "stale allowlist fails" 1 exit_code;
+  Alcotest.(check bool) "L010 reported" true (has_code lines "L010");
+  Alcotest.(check bool) "no L007 (the ref is gone)" false
+    (has_code lines "L007")
+
+(* --- L008 ------------------------------------------------------------------ *)
+
+let test_l008_cross_module_mutation () =
+  let exit_code, lines =
+    run_lint
+      [ "--treat-as-lib"; fixture "l8_owner.ml"; fixture "l8_user.ml" ]
+  in
+  Alcotest.(check int) "cross-module mutation fails" 1 exit_code;
+  Alcotest.(check bool) "L008 reported" true (has_code lines "L008");
+  Alcotest.(check bool) "finding is in the user, not the owner" true
+    (List.for_all
+       (fun l ->
+         (not (contains_substring l "[L008]"))
+         || String.starts_with ~prefix:(fixture "l8_user.ml") l)
+       lines)
+
+(* --- L009 via --hot --------------------------------------------------------- *)
+
+let test_l009_hot_path () =
+  let exit_code, lines =
+    run_lint
+      [ "--treat-as-lib"; "--hot"; "Hot_alloc.join"; fixture "hot_alloc.ml" ]
+  in
+  Alcotest.(check int) "hot String.concat fails" 1 exit_code;
+  Alcotest.(check int) "exactly one finding" 1 (List.length lines);
+  Alcotest.(check bool) "L009 names the hot binding" true
+    (List.exists (fun l -> contains_substring l "Hot_alloc.join") lines)
+
+let test_l009_silent_outside_hot_set () =
+  let exit_code, lines =
+    run_lint [ "--treat-as-lib"; fixture "hot_alloc.ml" ]
+  in
+  Alcotest.(check int) "same file clean without --hot" 0 exit_code;
+  Alcotest.(check (list string)) "no findings" [] lines
+
+(* --- --rules selection ------------------------------------------------------ *)
+
+let test_rules_disable () =
+  let exit_code, lines =
+    run_lint [ "--treat-as-lib"; "--rules=-L001"; fixture "lint_bad.ml" ]
+  in
+  Alcotest.(check int) "other rules still fail" 1 exit_code;
+  Alcotest.(check bool) "L001 gone" false (has_code lines "L001");
+  Alcotest.(check bool) "L002 still reported" true (has_code lines "L002")
+
+let test_rules_unknown_id_is_usage_error () =
+  let exit_code, _ =
+    run_lint [ "--rules=L999"; fixture "lint_clean.ml" ]
+  in
+  Alcotest.(check int) "unknown rule id exits 2" 2 exit_code
+
+(* --- JSON / SARIF emitters -------------------------------------------------- *)
+
+(* A deliberately tiny JSON syntax checker — no semantics, just the
+   grammar — enough to catch unescaped quotes, trailing commas and
+   unbalanced brackets in the emitters. *)
+exception Bad_json
+
+let json_valid s =
+  let n = String.length s in
+  let i = ref 0 in
+  let peek () = if !i < n then s.[!i] else raise Bad_json in
+  let next () =
+    let c = peek () in
+    incr i;
+    c
+  in
+  let rec ws () =
+    if
+      !i < n
+      && match s.[!i] with ' ' | '\n' | '\t' | '\r' -> true | _ -> false
+    then (
+      incr i;
+      ws ())
+  in
+  let expect c = if next () <> c then raise Bad_json in
+  let lit l = String.iter expect l in
+  let str () =
+    expect '"';
+    let rec go () =
+      match next () with
+      | '"' -> ()
+      | '\\' -> (
+          match next () with
+          | '"' | '\\' | '/' | 'b' | 'f' | 'n' | 'r' | 't' -> go ()
+          | 'u' ->
+              for _ = 1 to 4 do
+                match next () with
+                | '0' .. '9' | 'a' .. 'f' | 'A' .. 'F' -> ()
+                | _ -> raise Bad_json
+              done;
+              go ()
+          | _ -> raise Bad_json)
+      | c when Char.code c < 0x20 -> raise Bad_json
+      | _ -> go ()
+    in
+    go ()
+  in
+  let digits () =
+    let d = ref 0 in
+    while !i < n && match s.[!i] with '0' .. '9' -> true | _ -> false do
+      incr i;
+      incr d
+    done;
+    if !d = 0 then raise Bad_json
+  in
+  let number () =
+    if peek () = '-' then incr i;
+    digits ();
+    if !i < n && s.[!i] = '.' then (
+      incr i;
+      digits ());
+    if !i < n && (s.[!i] = 'e' || s.[!i] = 'E') then (
+      incr i;
+      if !i < n && (s.[!i] = '+' || s.[!i] = '-') then incr i;
+      digits ())
+  in
+  let rec value () =
+    ws ();
+    match peek () with
+    | '{' ->
+        incr i;
+        ws ();
+        if peek () = '}' then incr i
+        else
+          let rec member () =
+            ws ();
+            str ();
+            ws ();
+            expect ':';
+            value ();
+            ws ();
+            match next () with
+            | ',' -> member ()
+            | '}' -> ()
+            | _ -> raise Bad_json
+          in
+          member ()
+    | '[' ->
+        incr i;
+        ws ();
+        if peek () = ']' then incr i
+        else
+          let rec element () =
+            value ();
+            ws ();
+            match next () with
+            | ',' -> element ()
+            | ']' -> ()
+            | _ -> raise Bad_json
+          in
+          element ()
+    | '"' -> str ()
+    | 't' -> lit "true"
+    | 'f' -> lit "false"
+    | 'n' -> lit "null"
+    | _ -> number ()
+  in
+  match
+    value ();
+    ws ();
+    !i = n
+  with
+  | ok -> ok
+  | exception Bad_json -> false
+
+let test_sarif_shape () =
+  let exit_code, lines =
+    run_lint [ "--treat-as-lib"; "--format"; "sarif"; fixture "lint_bad.ml" ]
+  in
+  Alcotest.(check int) "findings still set the exit code" 1 exit_code;
+  let doc = String.concat "\n" lines in
+  Alcotest.(check bool) "SARIF output is valid JSON" true (json_valid doc);
+  Alcotest.(check bool) "declares SARIF 2.1.0" true
+    (contains_substring doc "\"version\":\"2.1.0\"");
+  Alcotest.(check bool) "runs[0].results populated" true
+    (contains_substring doc "\"results\":[{\"ruleId\":");
+  Alcotest.(check bool) "rule metadata present" true
+    (contains_substring doc "\"id\":\"L007\"");
+  Alcotest.(check bool) "regions carry locations" true
+    (contains_substring doc "\"startLine\":")
+
+let test_json_shape () =
+  let exit_code, lines =
+    run_lint [ "--treat-as-lib"; "--format"; "json"; fixture "lint_bad.ml" ]
+  in
+  Alcotest.(check int) "findings still set the exit code" 1 exit_code;
+  let doc = String.concat "\n" lines in
+  Alcotest.(check bool) "JSON output is valid JSON" true (json_valid doc);
+  Alcotest.(check bool) "findings array populated" true
+    (contains_substring doc "\"findings\":[{\"file\":")
+
+(* --- the lint library's own invariants (unit level) ------------------------ *)
+
+let test_finding_compare_total_order () =
+  let f ~file ~line ~col ~code =
+    Tdat_lint.Finding.v ~file ~line ~col ~code
+      ~severity:Tdat_lint.Finding.Error "m"
+  in
+  let shuffled =
+    [
+      f ~file:"b.ml" ~line:1 ~col:0 ~code:"L001";
+      f ~file:"a.ml" ~line:2 ~col:5 ~code:"L003";
+      f ~file:"a.ml" ~line:2 ~col:5 ~code:"L001";
+      f ~file:"a.ml" ~line:2 ~col:1 ~code:"L009";
+      f ~file:"a.ml" ~line:1 ~col:9 ~code:"L002";
+    ]
+  in
+  let sorted = Tdat_lint.Finding.sort shuffled in
+  let key (x : Tdat_lint.Finding.t) =
+    Printf.sprintf "%s:%d:%d:%s" x.file x.line x.col x.code
+  in
+  Alcotest.(check (list string))
+    "file, then line, then col, then code"
+    [
+      "a.ml:1:9:L002";
+      "a.ml:2:1:L009";
+      "a.ml:2:5:L001";
+      "a.ml:2:5:L003";
+      "b.ml:1:0:L001";
+    ]
+    (List.map key sorted)
+
+let test_in_lib_path_forms () =
+  let yes = [ "lib/pkt/trace.ml"; "./lib/x.ml"; "/repo/lib/core/a.ml";
+              "_build/default/lib/obs/log.ml" ] in
+  let no = [ "bin/tdat_cli.ml"; "library/x.ml"; "foo/liberty/x.ml";
+             "test/fixtures/lint_bad.ml" ] in
+  List.iter
+    (fun p ->
+      Alcotest.(check bool) (p ^ " is lib") true (Tdat_lint.Ident.in_lib p))
+    yes;
+  List.iter
+    (fun p ->
+      Alcotest.(check bool) (p ^ " is not lib") false (Tdat_lint.Ident.in_lib p))
+    no
 
 let suite =
   [
@@ -76,4 +420,33 @@ let suite =
     Alcotest.test_case "findings carry locations" `Quick
       test_bad_fixture_findings_located;
     Alcotest.test_case "clean fixture passes" `Quick test_clean_fixture_passes;
+    Alcotest.test_case "lib/ detected through absolute paths" `Quick
+      test_lib_detection_absolute_path;
+    Alcotest.test_case "non-lib paths skip library-only rules" `Quick
+      test_non_lib_path_skips_lib_rules;
+    Alcotest.test_case "same-line findings sorted by column" `Quick
+      test_same_line_findings_sorted_by_col;
+    Alcotest.test_case "output identical across --jobs" `Quick
+      test_output_identical_across_jobs;
+    Alcotest.test_case "L007: worker-reachable module ref" `Quick
+      test_l007_worker_reachable_ref;
+    Alcotest.test_case "L007: allowlist suppression honored" `Quick
+      test_l007_suppression_honored;
+    Alcotest.test_case "L010: stale suppression reported" `Quick
+      test_l010_stale_suppression_reported;
+    Alcotest.test_case "L008: cross-module mutation" `Quick
+      test_l008_cross_module_mutation;
+    Alcotest.test_case "L009: --hot makes the binding hot" `Quick
+      test_l009_hot_path;
+    Alcotest.test_case "L009: silent outside the hot set" `Quick
+      test_l009_silent_outside_hot_set;
+    Alcotest.test_case "--rules disables a rule" `Quick test_rules_disable;
+    Alcotest.test_case "--rules rejects unknown ids" `Quick
+      test_rules_unknown_id_is_usage_error;
+    Alcotest.test_case "SARIF output shape" `Quick test_sarif_shape;
+    Alcotest.test_case "JSON output shape" `Quick test_json_shape;
+    Alcotest.test_case "Finding.compare is a total order" `Quick
+      test_finding_compare_total_order;
+    Alcotest.test_case "in_lib matches path components" `Quick
+      test_in_lib_path_forms;
   ]

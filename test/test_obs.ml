@@ -133,6 +133,26 @@ let test_snapshot_deterministic_across_jobs () =
   Alcotest.(check bool) "snapshot mentions the analyzer" true
     (contains s1 "analyzer.analyses")
 
+let test_a007_backstop_on_live_snapshots () =
+  (* End-to-end hookup of audit rule A007: the same stable snapshots the
+     previous test compares by hand, fed through the audit validator. *)
+  let trace = fleet_trace () in
+  let snapshot jobs =
+    Obs.reset Obs.default;
+    Obs.set_enabled Obs.default true;
+    ignore (Tdat.Analyzer.analyze_all ~jobs trace);
+    let s = Obs.snapshot_json ~stable_only:true Obs.default in
+    Obs.set_enabled Obs.default false;
+    s
+  in
+  let reference = snapshot 1 in
+  let candidate = snapshot 4 in
+  let diags =
+    Tdat_audit.Checks.stable_snapshots_equal ~subject:"fleet analysis"
+      ~reference ~candidate ()
+  in
+  Alcotest.(check int) "A007 holds on live snapshots" 0 (List.length diags)
+
 (* --- tracer ------------------------------------------------------------ *)
 
 let count_phase events ph =
@@ -302,6 +322,8 @@ let suite =
       test_histogram_buckets;
     Alcotest.test_case "stable snapshot identical across jobs" `Quick
       test_snapshot_deterministic_across_jobs;
+    Alcotest.test_case "A007 backstop on live snapshots" `Quick
+      test_a007_backstop_on_live_snapshots;
     Alcotest.test_case "spans nest and balance" `Quick
       test_span_nesting_balance;
     Alcotest.test_case "spans balance across raises" `Quick
