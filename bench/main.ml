@@ -6,9 +6,12 @@
      bench/main.exe <name> ...      run selected experiments (see list)
      bench/main.exe speed           Bechamel microbenchmarks
      bench/main.exe --scale 0.2     scale the dataset sizes (faster runs)
+     bench/main.exe --baseline p    alloc budget file for perf_gate
      bench/main.exe --list          list experiment names *)
 
-let registry = Experiments.registry @ Ablations.registry @ Scaling.registry
+let registry =
+  Experiments.registry @ Ablations.registry @ Scaling.registry
+  @ Perf_gate.registry
 
 let usage () =
   print_endline "experiments:";
@@ -24,6 +27,9 @@ let () =
         exit 0
     | "--scale" :: v :: rest ->
         Dataset_cache.scale_ref := float_of_string v;
+        parse todo rest
+    | "--baseline" :: v :: rest ->
+        Perf_gate.baseline := v;
         parse todo rest
     | x :: rest -> parse (x :: todo) rest
   in

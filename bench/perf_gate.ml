@@ -1,0 +1,108 @@
+(* Allocation regression gate (`dune build @perf-gate`, wired into
+   `dune runtest`).
+
+   The allocation-light refactor's headline numbers — minor words per
+   packet on the analyze and decode paths — are protected by explicit
+   budgets in bench/alloc_baseline.json.  The gate replays a small
+   deterministic fleet at jobs=1 (no worker domains, so [Gc.minor_words]
+   sees every allocation) and fails the build when a path exceeds its
+   budget.  Budgets carry ~50% headroom over the measured steady state:
+   they catch a reintroduced per-packet list pipeline or string copy
+   (integer factors), not micro-noise.
+
+   The gate's own correctness is covered by a negative test
+   (test/test_equiv.ml): run against a deliberately tightened baseline,
+   it must fail. *)
+
+module Trace = Tdat_pkt.Trace
+
+let baseline = ref "bench/alloc_baseline.json"
+
+(* Minimal one-key-per-line JSON number extraction, so the gate needs no
+   JSON dependency.  Budget files are machine-written and flat. *)
+let budget_of data key =
+  let needle = "\"" ^ key ^ "\"" in
+  let nlen = String.length needle in
+  let len = String.length data in
+  let rec find i =
+    if i + nlen > len then None
+    else if String.sub data i nlen = needle then Some (i + nlen)
+    else find (i + 1)
+  in
+  match find 0 with
+  | None -> None
+  | Some p ->
+      let p = ref p in
+      while !p < len && (data.[!p] = ':' || data.[!p] = ' ') do
+        incr p
+      done;
+      let q = ref !p in
+      while
+        !q < len
+        && (match data.[!q] with
+           | '0' .. '9' | '.' | '-' | 'e' | 'E' | '+' -> true
+           | _ -> false)
+      do
+        incr q
+      done;
+      if !q = !p then None
+      else float_of_string_opt (String.sub data !p (!q - !p))
+
+let read_file path =
+  let ic = open_in_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_in ic)
+    (fun () -> really_input_string ic (in_channel_length ic))
+
+(* Minor words allocated by [f], after one warm-up run so one-time heap
+   and code-path costs (pool setup, scratch growth) are excluded. *)
+let minor_per_packet ~packets f =
+  ignore (f ());
+  let m0 = Gc.minor_words () in
+  ignore (f ());
+  (Gc.minor_words () -. m0) /. float_of_int packets
+
+let run () =
+  let data =
+    try read_file !baseline
+    with Sys_error e ->
+      Printf.eprintf "[perf-gate] cannot read baseline %s: %s\n" !baseline e;
+      exit 2
+  in
+  let trace = Scaling.fleet_trace ~sessions:2 ~prefixes:3_000 ~seed:7 in
+  let packets = Trace.length trace in
+  let analyze =
+    minor_per_packet ~packets (fun () ->
+        Tdat.Analyzer.analyze_all ~jobs:1 trace)
+  in
+  let pcap = Tdat_pkt.Pcap.encode trace in
+  let decode =
+    minor_per_packet ~packets (fun () -> Tdat_pkt.Pcap.decode_result pcap)
+  in
+  let failures = ref 0 in
+  let check name measured =
+    match budget_of data name with
+    | None ->
+        Printf.eprintf "[perf-gate] baseline %s lacks key %S\n" !baseline name;
+        incr failures
+    | Some budget ->
+        let ok = measured <= budget in
+        Printf.printf "[perf-gate] %-36s %8.1f  (budget %8.1f)  %s\n" name
+          measured budget
+          (if ok then "ok" else "FAIL");
+        if not ok then incr failures
+  in
+  Printf.printf "[perf-gate] fleet: %d packets, baseline %s\n%!" packets
+    !baseline;
+  check "analyze_minor_words_per_packet_max" analyze;
+  check "decode_minor_words_per_packet_max" decode;
+  if !failures > 0 then begin
+    Printf.eprintf
+      "[perf-gate] %d budget(s) exceeded: the hot path allocates more per \
+       packet than bench/alloc_baseline.json allows.  If the regression is \
+       intentional, re-baseline with the new measured numbers.\n"
+      !failures;
+    exit 1
+  end
+
+let registry = [ ("perf_gate", run) ]

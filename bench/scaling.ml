@@ -73,6 +73,59 @@ let legacy_rescan trace =
 let report_digest results =
   List.map (fun (_, a) -> Tdat.Report.to_string a) results
 
+(* Minor/major words allocated by one run of [f], after a warm-up run so
+   one-time costs (scratch arena growth, table resizes) are excluded.
+   Measured at jobs=1 — no worker domains — so the calling domain's GC
+   counters see every allocation. *)
+let words_of f =
+  ignore (f ());
+  let s0 = Gc.quick_stat () in
+  ignore (f ());
+  let s1 = Gc.quick_stat () in
+  ( s1.Gc.minor_words -. s0.Gc.minor_words,
+    s1.Gc.major_words -. s0.Gc.major_words )
+
+(* Per-stage allocation profile of the analyze path over the fleet:
+   whole-pipeline first, then the per-connection stages on the fleet's
+   first connection.  These are the numbers the allocation-light
+   refactor moves and @perf-gate protects. *)
+let alloc_stages trace =
+  let packets = Trace.length trace in
+  let fpackets = float_of_int packets in
+  let whole =
+    words_of (fun () -> Tdat.Analyzer.analyze_all ~audit:true ~jobs:1 trace)
+  in
+  let parts = Trace.partition_connections trace in
+  let partition = words_of (fun () -> Trace.partition_connections trace) in
+  let per_conn =
+    match parts with
+    | [] -> []
+    | (key, sub) :: _ ->
+        let flow = Trace.infer_sender sub key in
+        let profile = Tdat.Conn_profile.of_trace sub ~flow in
+        [
+          ( "transfer_id",
+            words_of (fun () -> Tdat.Transfer_id.identify sub ~flow) );
+          ( "conn_profile",
+            words_of (fun () -> Tdat.Conn_profile.of_trace sub ~flow) );
+          ( "series_gen",
+            words_of (fun () -> Tdat.Series_gen.generate profile) );
+        ]
+  in
+  let pcap = Tdat_pkt.Pcap.encode trace in
+  let decode = words_of (fun () -> Tdat_pkt.Pcap.decode_result pcap) in
+  let rows =
+    (("analyze_all+audit", whole) :: ("partition", partition) :: per_conn)
+    @ [ ("pcap_decode", decode) ]
+  in
+  List.iter
+    (fun (stage, (minor, major)) ->
+      Printf.printf
+        "alloc %-14s minor %12.0f (%6.1f/pkt)  major %12.0f\n%!" stage minor
+        (minor /. fpackets) major)
+    rows;
+  (packets, rows)
+
 let run_config ~label ~out ~sessions ~prefixes ~jobs_list () =
   Printf.printf "\n=== %s: %d sessions x %d prefixes ===\n%!" label sessions
     prefixes;
@@ -91,6 +144,8 @@ let run_config ~label ~out ~sessions ~prefixes ~jobs_list () =
   (* Warm the allocator and code paths once so the first measured
      configuration does not pay the heap-growth cost alone. *)
   ignore (Tdat.Analyzer.analyze_all ~audit:true ~jobs:1 trace);
+  let _, alloc_rows = alloc_stages trace in
+  let cores = Domain.recommended_domain_count () in
   let measured =
     List.map
       (fun jobs ->
@@ -101,7 +156,9 @@ let run_config ~label ~out ~sessions ~prefixes ~jobs_list () =
           time (fun () -> Tdat.Analyzer.analyze_all ~audit:true ~jobs trace)
         in
         let wall_s = min wall1 wall2 in
-        Printf.printf "analyze_all jobs=%d: %.3f s (best of 2)\n%!" jobs wall_s;
+        Printf.printf "analyze_all jobs=%d: %.3f s (best of 2)%s\n%!" jobs
+          wall_s
+          (if jobs > cores then " [oversubscribed]" else "");
         (jobs, wall_s, report_digest results))
       jobs_list
   in
@@ -175,7 +232,7 @@ let run_config ~label ~out ~sessions ~prefixes ~jobs_list () =
   p "{\n";
   p "  \"benchmark\": \"fleet-scaling\",\n";
   p "  \"config\": \"%s\",\n" label;
-  p "  \"cores_recommended\": %d,\n" (Tdat_parallel.Pool.default_jobs ());
+  p "  \"cores_detected\": %d,\n" cores;
   p "  \"sessions\": %d,\n" sessions;
   p "  \"prefixes_per_table\": %d,\n" prefixes;
   p "  \"connections\": %d,\n" connections;
@@ -185,11 +242,29 @@ let run_config ~label ~out ~sessions ~prefixes ~jobs_list () =
   p "    \"legacy_per_connection_rescan_s\": %.6f,\n" rescan_s;
   p "    \"partition_speedup\": %.3f\n" (rescan_s /. partition_s);
   p "  },\n";
+  p "  \"alloc_words\": [\n";
+  List.iteri
+    (fun i (stage, (minor, major)) ->
+      p
+        "    { \"stage\": %S, \"minor_words\": %.0f, \
+         \"minor_words_per_packet\": %.1f, \"major_words\": %.0f }%s\n"
+        stage minor
+        (minor /. float_of_int packets)
+        major
+        (if i = List.length alloc_rows - 1 then "" else ","))
+    alloc_rows;
+  p "  ],\n";
   p "  \"analyze_all\": [\n";
+  (* A speedup-vs-jobs1 claim is only meaningful when the hardware can
+     actually run more than one domain; on a 1-core box every jobs>1 row
+     is oversubscription overhead, not a scaling result. *)
   List.iteri
     (fun i (jobs, wall_s, _) ->
-      p "    { \"jobs\": %d, \"wall_s\": %.6f, \"speedup_vs_jobs1\": %.3f }%s\n"
-        jobs wall_s (base_wall /. wall_s)
+      p "    { \"jobs\": %d, \"wall_s\": %.6f%s, \"oversubscribed\": %b }%s\n"
+        jobs wall_s
+        (if cores = 1 && jobs > 1 then ""
+         else Printf.sprintf ", \"speedup_vs_jobs1\": %.3f" (base_wall /. wall_s))
+        (jobs > cores)
         (if i = List.length measured - 1 then "" else ","))
     measured;
   p "  ],\n";

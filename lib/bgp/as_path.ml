@@ -15,19 +15,20 @@ let encode_segment buf seg =
 
 let encode buf t = List.iter (encode_segment buf) t
 
-let decode s =
-  let len = String.length s in
-  let read_u16 off = (Char.code s.[off] lsl 8) lor Char.code s.[off + 1] in
+module Slice = Tdat_pkt.Slice
+
+let decode_slice s =
+  let len = Slice.length s in
   let rec segments off acc =
     if off = len then List.rev acc
     else if off + 2 > len then
       Bgp_error.fail ~context:"As_path.decode" "truncated header"
     else begin
-      let ty = Char.code s.[off] in
-      let n = Char.code s.[off + 1] in
+      let ty = Slice.u8 s off in
+      let n = Slice.u8 s (off + 1) in
       if off + 2 + (2 * n) > len then
         Bgp_error.fail ~context:"As_path.decode" "truncated";
-      let asns = List.init n (fun i -> read_u16 (off + 2 + (2 * i))) in
+      let asns = List.init n (fun i -> Slice.u16be s (off + 2 + (2 * i))) in
       let seg =
         match ty with
         | 1 -> Set asns
@@ -38,6 +39,8 @@ let decode s =
     end
   in
   segments 0 []
+
+let decode s = decode_slice (Slice.of_string s)
 
 let compare_segment a b =
   match (a, b) with

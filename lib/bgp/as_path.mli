@@ -16,6 +16,9 @@ val encode : Buffer.t -> t -> unit
 val decode : string -> t
 (** Decodes a whole attribute value. @raise Failure on malformed input. *)
 
+val decode_slice : Tdat_pkt.Slice.t -> t
+(** As {!decode}, reading through a borrowed slice (no copies). *)
+
 val compare : t -> t -> int
 val equal : t -> t -> bool
 val pp : Format.formatter -> t -> unit

@@ -49,54 +49,52 @@ let encode buf t =
   else Buffer.add_uint8 buf vlen;
   Buffer.add_string buf value
 
-let decode_all s =
-  let len = String.length s in
-  let read_u16 off = (Char.code s.[off] lsl 8) lor Char.code s.[off + 1] in
-  let read_u32 off =
-    Int32.logor
-      (Int32.shift_left (Int32.of_int (Char.code s.[off])) 24)
-      (Int32.of_int
-         ((Char.code s.[off + 1] lsl 16)
-         lor (Char.code s.[off + 2] lsl 8)
-         lor Char.code s.[off + 3]))
-  in
+module Slice = Tdat_pkt.Slice
+
+(* The only copy on this path is the [Unknown] payload, which the
+   decoded attribute *keeps*; recognized attributes read their value in
+   place through the slice. *)
+let decode_all_slice s =
+  let len = Slice.length s in
   let rec go off acc =
     if off = len then List.rev acc
     else if off + 3 > len then
       Bgp_error.fail ~context:"Attr.decode_all" "truncated header"
     else begin
-      let flags = Char.code s.[off] in
-      let code = Char.code s.[off + 1] in
+      let flags = Slice.u8 s off in
+      let code = Slice.u8 s (off + 1) in
       let extended = flags land flag_extended <> 0 in
       let vlen, voff =
         if extended then begin
           if off + 4 > len then
             Bgp_error.fail ~context:"Attr.decode_all" "truncated length";
-          (read_u16 (off + 2), off + 4)
+          (Slice.u16be s (off + 2), off + 4)
         end
-        else (Char.code s.[off + 2], off + 3)
+        else (Slice.u8 s (off + 2), off + 3)
       in
       if voff + vlen > len then
         Bgp_error.fail ~context:"Attr.decode_all" "truncated value";
-      let value = String.sub s voff vlen in
       let attr =
         match code with
         | 1 when vlen = 1 ->
             Origin
-              (match Char.code value.[0] with
+              (match Slice.u8 s voff with
               | 0 -> Igp
               | 1 -> Egp
               | _ -> Incomplete)
-        | 2 -> As_path (As_path.decode value)
-        | 3 when vlen = 4 -> Next_hop (read_u32 voff)
-        | 4 when vlen = 4 -> Med (read_u32 voff)
-        | 5 when vlen = 4 -> Local_pref (read_u32 voff)
-        | _ -> Unknown { code; flags; data = value }
+        | 2 -> As_path (As_path.decode_slice (Slice.sub s ~off:voff ~len:vlen))
+        | 3 when vlen = 4 -> Next_hop (Slice.i32be s voff)
+        | 4 when vlen = 4 -> Med (Slice.i32be s voff)
+        | 5 when vlen = 4 -> Local_pref (Slice.i32be s voff)
+        | _ ->
+            Unknown { code; flags; data = Slice.sub_string s ~off:voff ~len:vlen }
       in
       go (voff + vlen) (attr :: acc)
     end
   in
   go 0 []
+
+let decode_all s = decode_all_slice (Slice.of_string s)
 
 let signature attrs =
   let buf = Buffer.create 64 in

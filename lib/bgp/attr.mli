@@ -21,6 +21,10 @@ val decode_all : string -> t list
 (** Decodes a whole path-attributes block.
     @raise Failure on malformed input. *)
 
+val decode_all_slice : Tdat_pkt.Slice.t -> t list
+(** As {!decode_all}, reading through a borrowed slice: only [Unknown]
+    payloads (which the result keeps) are copied out. *)
+
 val signature : t list -> string
 (** Canonical byte string of an attribute set; updates sharing a
     signature can share one UPDATE message (how routers batch NLRI, and

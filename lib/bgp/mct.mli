@@ -43,3 +43,16 @@ val transfer_end :
 val of_timed_msgs : Msg_reader.timed_msg list ->
   (Tdat_timerange.Time_us.t * Prefix.t list) list
 (** Adapter from extracted messages: UPDATE announcements only. *)
+
+val transfer_end_of_reasm :
+  ?config:config ->
+  start:Tdat_timerange.Time_us.t ->
+  Stream_reassembly.t ->
+  result option
+(** Streaming equivalent of
+    [transfer_end ~start (of_timed_msgs (Msg_reader.extract reasm))]:
+    one pass over the contiguous stream, validating messages exactly as
+    the decoder would and folding announced prefixes as packed ints —
+    no intermediate messages, prefix values, or lists are built.  The
+    answer is identical to the three-stage pipeline (checked by the
+    decode-equivalence tests). *)

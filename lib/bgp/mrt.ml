@@ -147,23 +147,7 @@ let encode records = encode_entries (List.map (fun r -> Message r) records)
 
 (* --- streaming decode ----------------------------------------------------- *)
 
-let u16 s off = (Char.code s.[off] lsl 8) lor Char.code s.[off + 1]
-
-let u32 s off =
-  (Char.code s.[off] lsl 24)
-  lor (Char.code s.[off + 1] lsl 16)
-  lor (Char.code s.[off + 2] lsl 8)
-  lor Char.code s.[off + 3]
-
-let i32 s off = Int32.of_int (u32 s off)
-
-let bu16 b off = (Char.code (Bytes.get b off) lsl 8) lor Char.code (Bytes.get b (off + 1))
-
-let bu32 b off =
-  (Char.code (Bytes.get b off) lsl 24)
-  lor (Char.code (Bytes.get b (off + 1)) lsl 16)
-  lor (Char.code (Bytes.get b (off + 2)) lsl 8)
-  lor Char.code (Bytes.get b (off + 3))
+module Slice = Tdat_pkt.Slice
 
 (* Cold branch of [parse_body], hoisted out of the hot set so the
    formatting allocation stays off the per-record path (L009). *)
@@ -176,11 +160,12 @@ let skipped_note ~idx ~ty ~subtype =
       message = Printf.sprintf "skipped record (type %d, subtype %d)" ty subtype;
     }
 
-(* Parse one complete record body into an entry, or a diagnostic.  The
-   header has already framed the record, so every problem here is
-   skippable: salvage continues at the next record. *)
+(* Parse one complete record body (a borrowed [Slice.t] over the reused
+   record buffer) into an entry, or a diagnostic.  The header has
+   already framed the record, so every problem here is skippable:
+   salvage continues at the next record. *)
 let parse_body ~idx ~sec ~ty ~subtype body =
-  let len = String.length body in
+  let len = Slice.length body in
   let warn code message =
     `Diag { Diag.code; severity = Diag.Warning; record = Some idx; message }
   in
@@ -189,16 +174,16 @@ let parse_body ~idx ~sec ~ty ~subtype body =
     skipped_note ~idx ~ty ~subtype
   else if ty = bgp4mp_et && len < 4 then warn "M003" "short BGP4MP body"
   else begin
-    let usec, p = if ty = bgp4mp_et then (u32 body 0, 4) else (0, 0) in
+    let usec, p = if ty = bgp4mp_et then (Slice.u32be body 0, 4) else (0, 0) in
     let ts = (sec * 1_000_000) + usec in
     if subtype = subtype_message then begin
       if p + 16 > len then warn "M003" "short BGP4MP body"
       else begin
-        let peer_as = u16 body p in
-        let local_as = u16 body (p + 2) in
-        let peer_ip = i32 body (p + 8) in
-        let local_ip = i32 body (p + 12) in
-        match Msg.decode body (p + 16) with
+        let peer_as = Slice.u16be body p in
+        let local_as = Slice.u16be body (p + 2) in
+        let peer_ip = Slice.i32be body (p + 8) in
+        let local_ip = Slice.i32be body (p + 12) in
+        match Msg.decode_slice body (p + 16) with
         | Some (msg, _) ->
             `Entry (Message { ts; peer_as; local_as; peer_ip; local_ip; msg })
         | None -> warn "M004" "bad embedded BGP message"
@@ -210,18 +195,18 @@ let parse_body ~idx ~sec ~ty ~subtype body =
       (* BGP4MP_STATE_CHANGE *)
       if p + 20 > len then warn "M003" "short BGP4MP body"
       else begin
-        let old_code = u16 body (p + 16) in
-        let new_code = u16 body (p + 18) in
+        let old_code = Slice.u16be body (p + 16) in
+        let new_code = Slice.u16be body (p + 18) in
         match (fsm_state_of_code old_code, fsm_state_of_code new_code) with
         | Some old_state, Some new_state ->
             `Entry
               (State
                  {
                    sc_ts = ts;
-                   sc_peer_as = u16 body p;
-                   sc_local_as = u16 body (p + 2);
-                   sc_peer_ip = i32 body (p + 8);
-                   sc_local_ip = i32 body (p + 12);
+                   sc_peer_as = Slice.u16be body p;
+                   sc_local_as = Slice.u16be body (p + 2);
+                   sc_peer_ip = Slice.i32be body (p + 8);
+                   sc_local_ip = Slice.i32be body (p + 12);
                    old_state;
                    new_state;
                  })
@@ -254,8 +239,12 @@ let fold_fill ?(strict = false) ?(on_diag = fun _ -> ()) fill ~init f =
           Bgp_error.fail ~context:"Mrt.decode" "%s" d.Diag.message
       | Diag.Info -> ()
   in
+  (* The record-body buffer is a per-domain arena slot: successive
+     records (and successive archives on the same worker domain) reuse
+     one high-water-mark buffer instead of allocating per record. *)
+  Tdat_parallel.Scratch.(with_bytes ~slot:slot_mrt_body 4096) @@ fun bcell ->
   let hdr = Bytes.create 12 in
-  let body = ref (Bytes.create 4096) in
+  let hdr_s = Slice.of_bytes hdr in
   let records = ref 0 in
   let bgp_messages = ref 0 in
   let state_changes = ref 0 in
@@ -274,10 +263,10 @@ let fold_fill ?(strict = false) ?(on_diag = fun _ -> ()) fill ~init f =
       acc
     end
     else begin
-      let sec = bu32 hdr 0 in
-      let ty = bu16 hdr 4 in
-      let subtype = bu16 hdr 6 in
-      let rec_len = bu32 hdr 8 in
+      let sec = Slice.u32be hdr_s 0 in
+      let ty = Slice.u16be hdr_s 4 in
+      let subtype = Slice.u16be hdr_s 6 in
+      let rec_len = Slice.u32be hdr_s 8 in
       if rec_len > max_record_len then begin
         emit
           {
@@ -289,8 +278,8 @@ let fold_fill ?(strict = false) ?(on_diag = fun _ -> ()) fill ~init f =
         acc
       end
       else begin
-        if Bytes.length !body < rec_len then body := Bytes.create rec_len;
-        let got = fill !body rec_len in
+        let body = Tdat_parallel.Scratch.ensure bcell rec_len in
+        let got = fill body rec_len in
         if got < rec_len then begin
           emit
             {
@@ -307,8 +296,9 @@ let fold_fill ?(strict = false) ?(on_diag = fun _ -> ()) fill ~init f =
           Obs.Counter.incr m_records;
           (* +12: the MRT common header travels with the body. *)
           Obs.Counter.add m_bytes (rec_len + 12);
-          let body_s = Bytes.sub_string !body 0 rec_len in
-          match parse_body ~idx ~sec ~ty ~subtype body_s with
+          match
+            parse_body ~idx ~sec ~ty ~subtype (Slice.of_bytes ~len:rec_len body)
+          with
           | `Entry e ->
               (match e with
               | Message _ ->

@@ -76,75 +76,76 @@ let encode t =
 
 let encoded_size t = header_size + String.length (body_bytes t)
 
-let peek_length s off =
-  if off + header_size > String.length s then None
+module Slice = Tdat_pkt.Slice
+
+let peek_length_slice s off =
+  if off + header_size > Slice.length s then None
   else begin
     for i = 0 to 15 do
-      if s.[off + i] <> '\xff' then
+      if Slice.u8 s (off + i) <> 0xff then
         Bgp_error.fail ~context:"Msg.peek_length" "bad marker"
     done;
-    let len = (Char.code s.[off + 16] lsl 8) lor Char.code s.[off + 17] in
+    let len = Slice.u16be s (off + 16) in
     if len < header_size || len > max_size then
       Bgp_error.fail ~context:"Msg.peek_length" "invalid length %d" len;
     Some len
   end
 
-let decode_prefixes s =
-  let n = String.length s in
+let peek_length s off = peek_length_slice (Slice.of_string s) off
+
+let decode_prefixes_slice s =
+  let n = Slice.length s in
   let rec go off acc =
     if off = n then List.rev acc
     else begin
-      let p, off' = Prefix.decode s off in
+      let p, off' = Prefix.decode_slice s off in
       go off' (p :: acc)
     end
   in
   go 0 []
 
-let decode s off =
-  match peek_length s off with
+let decode_slice s off =
+  match peek_length_slice s off with
   | None -> None
   | Some total ->
-      if off + total > String.length s then None
+      if off + total > Slice.length s then None
       else begin
-        let ty = Char.code s.[off + 18] in
-        let body = String.sub s (off + header_size) (total - header_size) in
-        let blen = String.length body in
-        let read_u16 o = (Char.code body.[o] lsl 8) lor Char.code body.[o + 1] in
+        let ty = Slice.u8 s (off + 18) in
+        (* A borrowed view of the body: section decoding below reads in
+           place instead of materializing per-section copies. *)
+        let body =
+          Slice.sub s ~off:(off + header_size) ~len:(total - header_size)
+        in
+        let blen = Slice.length body in
         let msg =
           match ty with
           | 1 ->
               if blen < 10 then Bgp_error.fail ~context:"Msg.decode" "short OPEN";
-              let bgp_id =
-                Int32.logor
-                  (Int32.shift_left (Int32.of_int (Char.code body.[5])) 24)
-                  (Int32.of_int
-                     ((Char.code body.[6] lsl 16)
-                     lor (Char.code body.[7] lsl 8)
-                     lor Char.code body.[8]))
-              in
               Open
                 {
-                  version = Char.code body.[0];
-                  my_as = read_u16 1;
-                  hold_time = read_u16 3;
-                  bgp_id;
+                  version = Slice.u8 body 0;
+                  my_as = Slice.u16be body 1;
+                  hold_time = Slice.u16be body 3;
+                  bgp_id = Slice.i32be body 5;
                 }
           | 2 ->
               if blen < 4 then Bgp_error.fail ~context:"Msg.decode" "short UPDATE";
-              let wlen = read_u16 0 in
+              let wlen = Slice.u16be body 0 in
               if 2 + wlen + 2 > blen then
                 Bgp_error.fail ~context:"Msg.decode" "bad withdrawn length";
-              let withdrawn = decode_prefixes (String.sub body 2 wlen) in
-              let alen = read_u16 (2 + wlen) in
+              let withdrawn =
+                decode_prefixes_slice (Slice.sub body ~off:2 ~len:wlen)
+              in
+              let alen = Slice.u16be body (2 + wlen) in
               if 4 + wlen + alen > blen then
                 Bgp_error.fail ~context:"Msg.decode" "bad attribute length";
               let attrs =
-                Attr.decode_all (String.sub body (4 + wlen) alen)
+                Attr.decode_all_slice (Slice.sub body ~off:(4 + wlen) ~len:alen)
               in
               let nlri_off = 4 + wlen + alen in
               let nlri =
-                decode_prefixes
-                  (String.sub body nlri_off (blen - nlri_off))
+                decode_prefixes_slice
+                  (Slice.sub body ~off:nlri_off ~len:(blen - nlri_off))
               in
               Update { withdrawn; attrs; nlri }
           | 3 ->
@@ -152,9 +153,9 @@ let decode s off =
                 Bgp_error.fail ~context:"Msg.decode" "short NOTIFICATION";
               Notification
                 {
-                  code = Char.code body.[0];
-                  subcode = Char.code body.[1];
-                  data = String.sub body 2 (blen - 2);
+                  code = Slice.u8 body 0;
+                  subcode = Slice.u8 body 1;
+                  data = Slice.sub_string body ~off:2 ~len:(blen - 2);
                 }
           | 4 ->
               if blen <> 0 then
@@ -164,6 +165,8 @@ let decode s off =
         in
         Some (msg, off + total)
       end
+
+let decode s off = decode_slice (Slice.of_string s) off
 
 let nlri_count = function Update u -> List.length u.nlri | _ -> 0
 

@@ -23,25 +23,26 @@ let extract reasm =
   in
   go 0 []
 
+let[@inline] is_data_to_receiver flow seg =
+  Tdat_pkt.Flow.is_to_receiver flow seg && Tdat_pkt.Tcp_segment.is_data seg
+
+let reassemble_from_trace ?scratch trace ~flow =
+  let n = Tdat_pkt.Trace.length trace in
+  (* Rebase stream offsets so the first observed data byte is 0. *)
+  let base = ref max_int in
+  for i = 0 to n - 1 do
+    let seg = Tdat_pkt.Trace.get trace i in
+    if is_data_to_receiver flow seg && seg.Tdat_pkt.Tcp_segment.seq < !base then
+      base := seg.Tdat_pkt.Tcp_segment.seq
+  done;
+  let reasm = Stream_reassembly.create ?scratch () in
+  if !base < max_int then
+    for i = 0 to n - 1 do
+      let seg = Tdat_pkt.Trace.get trace i in
+      if is_data_to_receiver flow seg then
+        Stream_reassembly.feed ~rebase:!base reasm seg
+    done;
+  reasm
+
 let extract_from_trace trace ~flow =
-  let data_segments =
-    Tdat_pkt.Trace.segments trace
-    |> List.filter (fun seg ->
-           Tdat_pkt.Flow.is_to_receiver flow seg
-           && Tdat_pkt.Tcp_segment.is_data seg)
-  in
-  match data_segments with
-  | [] -> []
-  | first :: _ ->
-      (* Rebase stream offsets so the first observed data byte is 0. *)
-      let base =
-        List.fold_left
-          (fun acc (s : Tdat_pkt.Tcp_segment.t) -> min acc s.seq)
-          first.Tdat_pkt.Tcp_segment.seq data_segments
-      in
-      let rebased =
-        List.map
-          (fun (s : Tdat_pkt.Tcp_segment.t) -> { s with seq = s.seq - base })
-          data_segments
-      in
-      extract (Stream_reassembly.of_segments rebased)
+  extract (reassemble_from_trace trace ~flow)

@@ -32,20 +32,24 @@ let encode buf t =
     Buffer.add_uint8 buf ((u lsr (24 - (8 * i))) land 0xFF)
   done
 
-let decode s off =
-  if off >= String.length s then
+module Slice = Tdat_pkt.Slice
+
+let decode_slice s off =
+  if off >= Slice.length s then
     Bgp_error.fail ~context:"Prefix.decode" "truncated";
-  let plen = Char.code s.[off] in
+  let plen = Slice.u8 s off in
   if plen > 32 then
     Bgp_error.fail ~context:"Prefix.decode" "invalid prefix length";
   let nbytes = (plen + 7) / 8 in
-  if off + 1 + nbytes > String.length s then
+  if off + 1 + nbytes > Slice.length s then
     Bgp_error.fail ~context:"Prefix.decode" "truncated address";
   let u = ref 0 in
   for i = 0 to nbytes - 1 do
-    u := !u lor (Char.code s.[off + 1 + i] lsl (24 - (8 * i)))
+    u := !u lor (Slice.u8 s (off + 1 + i) lsl (24 - (8 * i)))
   done;
   (v (Int32.of_int !u) plen, off + 1 + nbytes)
+
+let decode s off = decode_slice (Slice.of_string s) off
 
 let pp ppf t =
   let u = Int32.to_int t.addr land 0xFFFFFFFF in

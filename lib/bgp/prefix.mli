@@ -24,5 +24,8 @@ val decode : string -> int -> t * int
 (** [decode s off] returns the prefix and the offset past it.
     @raise Failure on truncated or invalid input. *)
 
+val decode_slice : Tdat_pkt.Slice.t -> int -> t * int
+(** As {!decode}, reading through a borrowed slice (no copies). *)
+
 val pp : Format.formatter -> t -> unit
 val to_string : t -> string

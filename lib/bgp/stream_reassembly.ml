@@ -1,5 +1,11 @@
+module Scratch = Tdat_parallel.Scratch
+
 type t = {
   mutable data : Bytes.t;
+  scratch : Scratch.cell option;
+      (* When present, [data] is the cell's buffer and growth goes
+         through the arena so the high-water mark is reused across
+         connections on the same domain. *)
   mutable received : (int * int) list;
       (* Sorted disjoint [lo, hi) intervals of received stream offsets. *)
   mutable frontier : int; (* First offset not yet contiguous. *)
@@ -8,9 +14,13 @@ type t = {
   mutable duplicate_bytes : int;
 }
 
-let create () =
+let create ?scratch () =
   {
-    data = Bytes.create 4096;
+    data =
+      (match scratch with
+      | Some cell -> Scratch.ensure cell 4096
+      | None -> Bytes.create 4096);
+    scratch;
     received = [];
     frontier = 0;
     deliveries = [];
@@ -19,15 +29,17 @@ let create () =
 
 let ensure_capacity t needed =
   let cap = Bytes.length t.data in
-  if needed > cap then begin
-    let cap' = ref cap in
-    while needed > !cap' do
-      cap' := !cap' * 2
-    done;
-    let bigger = Bytes.create !cap' in
-    Bytes.blit t.data 0 bigger 0 cap;
-    t.data <- bigger
-  end
+  if needed > cap then
+    match t.scratch with
+    | Some cell -> t.data <- Scratch.ensure_keep cell needed
+    | None ->
+        let cap' = ref cap in
+        while needed > !cap' do
+          cap' := !cap' * 2
+        done;
+        let bigger = Bytes.create !cap' in
+        Bytes.blit t.data 0 bigger 0 cap;
+        t.data <- bigger
 
 (* Insert [lo, hi) into the sorted disjoint interval list, returning the
    new list and the number of bytes that were already present. *)
@@ -44,9 +56,10 @@ let insert_interval intervals lo hi =
   in
   go [] 0 lo hi intervals
 
-let feed t (seg : Tdat_pkt.Tcp_segment.t) =
+let feed ?(rebase = 0) t (seg : Tdat_pkt.Tcp_segment.t) =
   if seg.len > 0 then begin
-    let lo = seg.seq and hi = seg.seq + seg.len in
+    let lo = seg.seq - rebase in
+    let hi = lo + seg.len in
     if lo < 0 then invalid_arg "Stream_reassembly.feed: negative offset";
     ensure_capacity t hi;
     let received, overlap = insert_interval t.received lo hi in
@@ -64,11 +77,11 @@ let feed t (seg : Tdat_pkt.Tcp_segment.t) =
     t.received <- received;
     t.duplicate_bytes <- t.duplicate_bytes + overlap;
     (* Advance the contiguous frontier. *)
-    (match t.received with
+    match t.received with
     | (0, hi0) :: _ when hi0 > t.frontier ->
         t.frontier <- hi0;
         t.deliveries <- (hi0, seg.ts) :: t.deliveries
-    | _ -> ())
+    | _ -> ()
   end
 
 let of_segments segs =
@@ -78,6 +91,11 @@ let of_segments segs =
 
 let contiguous_length t = t.frontier
 let contiguous t = Bytes.sub_string t.data 0 t.frontier
+
+(* Borrowed view of the contiguous part: valid only until the next
+   [feed] (which may grow/replace [data]).  The copy-free input to the
+   streaming message scans. *)
+let contiguous_slice t = Tdat_pkt.Slice.of_bytes ~len:t.frontier t.data
 
 let delivery_time t off =
   if off >= t.frontier then

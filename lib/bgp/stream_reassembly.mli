@@ -10,18 +10,27 @@
 
 type t
 
-val create : unit -> t
+val create : ?scratch:Tdat_parallel.Scratch.cell -> unit -> t
+(** [?scratch] backs the stream buffer with a caller-provided per-domain
+    arena cell (checked out via {!Tdat_parallel.Scratch.with_bytes}), so
+    repeated reassemblies on one domain reuse a single high-water-mark
+    buffer instead of allocating 4 KiB + doublings per connection. *)
 
-val feed : t -> Tdat_pkt.Tcp_segment.t -> unit
+val feed : ?rebase:int -> t -> Tdat_pkt.Tcp_segment.t -> unit
 (** Feed a data segment (non-data segments are ignored).  Stream offsets
-    come from [seq]; the stream starts at offset 0.  A payload shorter
-    than the segment's declared [len] (snaplen-truncated capture, or not
-    materialized) is zero-filled to [len], keeping offsets exact. *)
+    come from [seq] minus [rebase] (default 0); the stream starts at
+    offset 0.  A payload shorter than the segment's declared [len]
+    (snaplen-truncated capture, or not materialized) is zero-filled to
+    [len], keeping offsets exact. *)
 
 val of_segments : Tdat_pkt.Tcp_segment.t list -> t
 
 val contiguous : t -> string
 (** The reconstructed stream from offset 0 up to the first gap. *)
+
+val contiguous_slice : t -> Tdat_pkt.Slice.t
+(** Borrowed view of {!contiguous} (no copy).  Invalidated by the next
+    {!feed}, which may grow or replace the backing buffer. *)
 
 val contiguous_length : t -> int
 

@@ -8,25 +8,6 @@ type flight_shift = {
   applied : Time_us.t;
 }
 
-(* Group indices [0..n) into flights by inter-arrival gap. *)
-let group_flights acks gap =
-  let n = Array.length acks in
-  let flights = ref [] and current = ref [] in
-  let flush () =
-    if !current <> [] then flights := List.rev !current :: !flights;
-    current := []
-  in
-  for i = 0 to n - 1 do
-    (match !current with
-    | last :: _
-      when acks.(i).Seg.ts - acks.(last).Seg.ts > gap ->
-        flush ()
-    | _ -> ());
-    current := i :: !current
-  done;
-  flush ();
-  List.rev !flights
-
 (* d2 estimate for one ACK: the delay until the first data packet that
    this ACK's window-edge advance released.  [allowed_before] is the
    right window edge (ack + win) in force before this ACK. *)
@@ -70,44 +51,50 @@ let shift ?flight_gap (profile : Conn_profile.t) =
   let baseline =
     Option.value ~default:0 profile.Conn_profile.upstream_rtt
   in
-  let flights = group_flights acks gap in
+  let n = Array.length acks in
   let max_wait = 2 * max rtt 1_000 in
-  (* Track the pre-ACK window edge as we walk the ACK stream. *)
+  (* Track the pre-ACK window edge as we walk the ACK stream.  Flights
+     are contiguous index ranges [lo, hi] split where the inter-arrival
+     gap exceeds [gap] — walked in place, no index lists. *)
   let allowed = ref 0 in
   let shifted = Array.copy acks in
   let infos = ref [] in
-  let process flight =
-    let members = List.map (fun i -> acks.(i)) flight in
-    let first = List.hd members in
-    let last = List.nth members (List.length members - 1) in
-    let d2s = ref [] in
-    List.iter
-      (fun (ack : Seg.t) ->
-        (match
-           estimate_d2 profile ~allowed_before:!allowed ~ack ~max_wait
-         with
-        | Some d2 when d2 >= 0 -> d2s := d2 :: !d2s
-        | _ -> ());
-        allowed := max !allowed (ack.Seg.ack + ack.Seg.window))
-      members;
-    let applied =
-      match !d2s with
-      | [] -> baseline
-      | ds -> List.fold_left min max_int ds
-    in
-    List.iter
-      (fun i -> shifted.(i) <- { acks.(i) with Seg.ts = acks.(i).Seg.ts + applied })
-      flight;
+  let i = ref 0 in
+  while !i < n do
+    let j = ref !i in
+    while
+      !j + 1 < n && acks.(!j + 1).Seg.ts - acks.(!j).Seg.ts <= gap
+    do
+      incr j
+    done;
+    let lo = !i and hi = !j in
+    let best = ref max_int and estimates = ref 0 in
+    for k = lo to hi do
+      let ack = acks.(k) in
+      (match
+         estimate_d2 profile ~allowed_before:!allowed ~ack ~max_wait
+       with
+      | Some d2 when d2 >= 0 ->
+          incr estimates;
+          if d2 < !best then best := d2
+      | _ -> ());
+      allowed := max !allowed (ack.Seg.ack + ack.Seg.window)
+    done;
+    let applied = if !estimates = 0 then baseline else !best in
+    for k = lo to hi do
+      shifted.(k) <-
+        { acks.(k) with Seg.ts = acks.(k).Seg.ts + applied }
+    done;
     infos :=
       {
-        span = Span.v first.Seg.ts (last.Seg.ts + 1);
-        n_acks = List.length members;
-        estimates = List.length !d2s;
+        span = Span.v acks.(lo).Seg.ts (acks.(hi).Seg.ts + 1);
+        n_acks = hi - lo + 1;
+        estimates = !estimates;
         applied;
       }
-      :: !infos
-  in
-  List.iter process flights;
+      :: !infos;
+    i := hi + 1
+  done;
   Array.sort Seg.compare_ts shifted;
   ( { profile with Conn_profile.acks = shifted },
     List.rev !infos )

@@ -61,33 +61,69 @@ let merge_episodes recoveries =
 type hole = { h_lo : int; h_hi : int; created : Time_us.t }
 
 let of_trace ?(reorder_factor = 0.25) trace ~flow =
-  let segments = Tdat_pkt.Trace.segments trace in
-  let to_receiver, to_sender =
-    List.partition
-      (fun seg -> Flow.is_to_receiver flow seg)
-      segments
+  let module T = Tdat_pkt.Trace in
+  let n = T.length trace in
+  (* Direction predicates.  [is_to_sender] additionally excludes
+     receiver-bound segments, mirroring the partition-then-filter the
+     list pipeline used to do. *)
+  let to_receiver (s : Seg.t) = Flow.is_to_receiver flow s in
+  let to_sender (s : Seg.t) =
+    (not (Flow.is_to_receiver flow s)) && Flow.is_to_sender flow s
   in
-  let to_sender =
-    List.filter (fun seg -> Flow.is_to_sender flow seg) to_sender
+  let is_data_seg (s : Seg.t) = to_receiver s && Seg.is_data s in
+  let is_ack_seg (s : Seg.t) = to_sender s && s.flags.Seg.ack in
+  (* Count-then-fill the two per-direction arrays straight from the
+     trace — no segment lists. *)
+  let n_data = ref 0 and n_acks = ref 0 in
+  for i = 0 to n - 1 do
+    let s = T.get trace i in
+    if is_data_seg s then incr n_data;
+    if is_ack_seg s then incr n_acks
+  done;
+  let fill count pred =
+    if count = 0 then [||]
+    else begin
+      let out = ref [||] in
+      let k = ref 0 in
+      for i = 0 to n - 1 do
+        let s = T.get trace i in
+        if pred s then begin
+          if !k = 0 then out := Array.make count s;
+          !out.(!k) <- s;
+          incr k
+        end
+      done;
+      !out
+    end
   in
-  let data_segs = List.filter Seg.is_data to_receiver in
-  let acks = Array.of_list (List.filter (fun (s : Seg.t) -> s.flags.Seg.ack) to_sender) in
+  let data_segs = fill !n_data is_data_seg in
+  let acks = fill !n_acks is_ack_seg in
+  let find_seg pred =
+    let found = ref None in
+    (try
+       for i = 0 to n - 1 do
+         let s = T.get trace i in
+         if pred s then begin
+           found := Some s;
+           raise Exit
+         end
+       done
+     with Exit -> ());
+    !found
+  in
   (* Handshake-based RTT: SYN seen at the sniffer to the sender's first
      post-SYN+ACK packet covers the full round trip regardless of the
      sniffer position. *)
-  let syn = List.find_opt (fun (s : Seg.t) -> s.flags.Seg.syn) to_receiver in
+  let syn = find_seg (fun s -> to_receiver s && s.Seg.flags.Seg.syn) in
   let synack =
-    List.find_opt
-      (fun (s : Seg.t) -> s.flags.Seg.syn && s.flags.Seg.ack)
-      to_sender
-  in
-  let first_after ts segs =
-    List.find_opt (fun (s : Seg.t) -> s.ts > ts) segs
+    find_seg (fun s -> to_sender s && s.Seg.flags.Seg.syn && s.Seg.flags.Seg.ack)
   in
   let syn_rtt, upstream_rtt =
     match (syn, synack) with
     | Some syn, Some sa -> (
-        match first_after sa.Seg.ts to_receiver with
+        match
+          find_seg (fun s -> to_receiver s && s.Seg.ts > sa.Seg.ts)
+        with
         | Some reply ->
             ( Some (reply.Seg.ts - syn.Seg.ts),
               Some (reply.Seg.ts - sa.Seg.ts) )
@@ -95,19 +131,18 @@ let of_trace ?(reorder_factor = 0.25) trace ~flow =
     | _ -> (None, None)
   in
   let start_time =
-    match (syn, segments) with
-    | Some s, _ -> s.Seg.ts
-    | None, first :: _ -> first.Seg.ts
-    | None, [] -> 0
+    match syn with
+    | Some s -> s.Seg.ts
+    | None -> if n > 0 then (T.get trace 0).Seg.ts else 0
   in
   let end_time =
-    match List.rev segments with last :: _ -> last.Seg.ts | [] -> start_time
+    if n > 0 then (T.get trace (n - 1)).Seg.ts else start_time
   in
   let mss =
     match syn with
     | Some { Seg.mss_opt = Some m; _ } -> m
     | _ ->
-        List.fold_left (fun acc (s : Seg.t) -> max acc s.len) 536 data_segs
+        Array.fold_left (fun acc (s : Seg.t) -> max acc s.len) 536 data_segs
   in
   let max_adv_window =
     Array.fold_left (fun acc (s : Seg.t) -> max acc s.window) 0 acks
@@ -188,7 +223,20 @@ let of_trace ?(reorder_factor = 0.25) trace ~flow =
     if not (Hashtbl.mem first_seen lo) then Hashtbl.add first_seen lo s.ts;
     { seg = s; label }
   in
-  let data = Array.of_list (List.map label_packet data_segs) in
+  (* Labeling is stateful (hole tracking): fill the pre-sized array with
+     an explicit in-order loop. *)
+  let ndata = Array.length data_segs in
+  let data =
+    if ndata = 0 then [||]
+    else begin
+      let first = label_packet data_segs.(0) in
+      let out = Array.make ndata first in
+      for i = 1 to ndata - 1 do
+        out.(i) <- label_packet data_segs.(i)
+      done;
+      out
+    end
+  in
   {
     flow;
     start_time;

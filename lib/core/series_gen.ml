@@ -88,7 +88,10 @@ let custom_names t =
 
 let clip_series window s = Series.clip window s
 
-let series_of_spans set = Series.of_list (List.map (fun sp -> (sp, 0)) (Span_set.to_list set))
+let series_of_spans set =
+  let b = Series.builder () in
+  Span_set.iter (fun sp -> Series.add b sp 0) set;
+  Series.build b
 
 (* Estimated serialization time of an MSS packet: the smallest positive
    inter-arrival between consecutive near-MSS data packets, capped at
@@ -105,19 +108,29 @@ let estimate_tx_mss (data : Conn_profile.data_packet array) mss =
 
 let tx_time tx_mss mss len = max 1 (tx_mss * len / max 1 mss)
 
-(* Group timestamps into flights: a gap larger than [gap] starts a new
-   flight.  Returns (first_ts, last_ts, count) per flight. *)
-let flights_of timestamps gap =
-  let rec go acc current = function
-    | [] -> List.rev (match current with None -> acc | Some f -> f :: acc)
-    | ts :: rest -> (
-        match current with
-        | None -> go acc (Some (ts, ts, 1)) rest
-        | Some (first, last, n) when ts - last <= gap ->
-            go acc (Some (first, ts, n + 1)) rest
-        | Some f -> go (f :: acc) (Some (ts, ts, 1)) rest)
-  in
-  go [] None timestamps
+(* Group the first [n] timestamps of [ts] into flights: a gap larger
+   than [gap] starts a new flight.  Emits one event per flight
+   ([first, last+1], count) straight into a series. *)
+let flight_series ts n gap =
+  let b = Series.builder () in
+  if n > 0 then begin
+    let first = ref ts.(0) and last = ref ts.(0) and count = ref 1 in
+    for i = 1 to n - 1 do
+      let t = ts.(i) in
+      if t - !last <= gap then begin
+        last := t;
+        incr count
+      end
+      else begin
+        Series.add b (Span.v !first (!last + 1)) !count;
+        first := t;
+        last := t;
+        count := 1
+      end
+    done;
+    Series.add b (Span.v !first (!last + 1)) !count
+  end;
+  Series.build b
 
 (* ---- generation ------------------------------------------------------ *)
 
@@ -190,11 +203,12 @@ let generate ?(config = default_config) ?window (p : Conn_profile.t) =
 
   (* -- loss episodes ---------------------------------------------------- *)
   let episode_series eps =
-    Series.of_list
-      (List.map
-         (fun (e : Conn_profile.loss_episode) ->
-           (e.Conn_profile.span, e.Conn_profile.packets))
-         eps)
+    let b = Series.builder () in
+    List.iter
+      (fun (e : Conn_profile.loss_episode) ->
+        Series.add b e.Conn_profile.span e.Conn_profile.packets)
+      eps;
+    Series.build b
   in
   put D.Upstream_loss (episode_series p.Conn_profile.upstream_episodes);
   put D.Downstream_loss (episode_series p.Conn_profile.downstream_episodes);
@@ -221,62 +235,90 @@ let generate ?(config = default_config) ?window (p : Conn_profile.t) =
   put D.Small_adv_window (filter_window (fun w -> w > 0 && w < small_thresh));
   put D.Large_adv_window (filter_window (fun w -> w >= max_adv - small_thresh));
 
-  (* -- flights ---------------------------------------------------------- *)
+  (* -- flights / idle gaps ----------------------------------------------
+     Timestamp working sets live in per-domain scratch int arrays; the
+     combined timeline is a two-pointer merge of the two (already
+     time-sorted) directions, not a sort of a concatenated list. *)
   let flight_gap = max 1_000 (rtt / 4) in
-  let data_ts =
-    Array.to_list data |> List.map (fun d -> d.Conn_profile.seg.Seg.ts)
-  in
-  let ack_ts = Array.to_list acks |> List.map (fun (a : Seg.t) -> a.Seg.ts) in
-  let flight_series ts_list =
-    Series.of_list
-      (List.map
-         (fun (first, last, n) -> (Span.v first (last + 1), n))
-         (flights_of ts_list flight_gap))
-  in
-  put D.Data_flight (flight_series data_ts);
-  put D.Ack_flight (flight_series ack_ts);
+  let module Scratch = Tdat_parallel.Scratch in
+  Scratch.with_ints ~slot:Scratch.slot_series_data_ts ndata (fun data_ts ->
+      Scratch.with_ints ~slot:Scratch.slot_series_ack_ts n_acks (fun ack_ts ->
+          Scratch.with_ints ~slot:Scratch.slot_series_all_ts (ndata + n_acks)
+            (fun all_ts ->
+              for i = 0 to ndata - 1 do
+                data_ts.(i) <- data.(i).Conn_profile.seg.Seg.ts
+              done;
+              for i = 0 to n_acks - 1 do
+                ack_ts.(i) <- acks.(i).Seg.ts
+              done;
+              put D.Data_flight (flight_series data_ts ndata flight_gap);
+              put D.Ack_flight (flight_series ack_ts n_acks flight_gap);
+              let i = ref 0 and j = ref 0 and k = ref 0 in
+              while !i < ndata || !j < n_acks do
+                let take_data =
+                  !j >= n_acks || (!i < ndata && data_ts.(!i) <= ack_ts.(!j))
+                in
+                if take_data then begin
+                  all_ts.(!k) <- data_ts.(!i);
+                  incr i
+                end
+                else begin
+                  all_ts.(!k) <- ack_ts.(!j);
+                  incr j
+                end;
+                incr k
+              done;
+              let b = Series.builder () in
+              for i = 0 to !k - 2 do
+                if all_ts.(i + 1) - all_ts.(i) > config.idle_gap_min then
+                  Series.add b (Span.v all_ts.(i) all_ts.(i + 1)) 0
+              done;
+              put D.Idle_gap (Series.build b))));
 
-  (* -- idle gaps --------------------------------------------------------- *)
-  let all_ts = List.sort Time_us.compare (data_ts @ ack_ts) in
+  (* -- keepalive-only periods --------------------------------------------
+     Boundaries are the large-packet timestamps framed by the window
+     edges; small-packet timestamps are kept sorted in scratch and each
+     candidate interval counts its interior by binary search. *)
   let b = Series.builder () in
-  let rec idle_scan = function
-    | a :: (b' :: _ as rest) ->
-        if b' - a > config.idle_gap_min then Series.add b (Span.v a b') 0;
-        idle_scan rest
-    | _ -> ()
-  in
-  idle_scan all_ts;
-  put D.Idle_gap (Series.build b);
-
-  (* -- keepalive-only periods -------------------------------------------- *)
-  let large_ts =
-    Array.to_list data
-    |> List.filter_map (fun d ->
-           let s = d.Conn_profile.seg in
-           if s.Seg.len > config.keepalive_max_size then Some s.Seg.ts
-           else None)
-  in
-  let small_ts =
-    Array.to_list data
-    |> List.filter_map (fun d ->
-           let s = d.Conn_profile.seg in
-           if s.Seg.len <= config.keepalive_max_size then Some s.Seg.ts
-           else None)
-  in
-  let boundaries = (Span.start win :: large_ts) @ [ Span.stop win ] in
-  let b = Series.builder () in
-  let rec ka_scan = function
-    | a :: (b' :: _ as rest) ->
+  Scratch.with_ints ~slot:Scratch.slot_series_small_ts ndata (fun small_ts ->
+      let n_small_total = ref 0 in
+      for i = 0 to ndata - 1 do
+        let s = data.(i).Conn_profile.seg in
+        if s.Seg.len <= config.keepalive_max_size then begin
+          small_ts.(!n_small_total) <- s.Seg.ts;
+          incr n_small_total
+        end
+      done;
+      (* Number of small-packet timestamps strictly inside (a, b'). *)
+      let count_small a b' =
+        let lo = ref 0 and hi = ref !n_small_total in
+        while !lo < !hi do
+          let mid = (!lo + !hi) / 2 in
+          if small_ts.(mid) <= a then lo := mid + 1 else hi := mid
+        done;
+        let first = !lo in
+        let lo = ref first and hi = ref !n_small_total in
+        while !lo < !hi do
+          let mid = (!lo + !hi) / 2 in
+          if small_ts.(mid) < b' then lo := mid + 1 else hi := mid
+        done;
+        !lo - first
+      in
+      let ka_interval a b' =
         if b' - a >= config.keepalive_min_idle then begin
-          let n_small =
-            List.length (List.filter (fun ts -> ts > a && ts < b') small_ts)
-          in
+          let n_small = count_small a b' in
           if n_small > 0 then Series.add b (Span.v a b') n_small
-        end;
-        ka_scan rest
-    | _ -> ()
-  in
-  ka_scan boundaries;
+        end
+      in
+      let prev = ref (Span.start win) in
+      for i = 0 to ndata - 1 do
+        let s = data.(i).Conn_profile.seg in
+        if s.Seg.len > config.keepalive_max_size then begin
+          ka_interval !prev s.Seg.ts;
+          prev := s.Seg.ts
+        end
+      done;
+      ka_interval !prev (Span.stop win));
   put D.Keepalive_only (Series.build b);
 
   (* -- handshake / teardown ----------------------------------------------- *)

@@ -33,23 +33,33 @@ let identify ?mct ?mrt trace ~flow =
   match connection_start trace ~flow with
   | None -> None
   | Some start_ts -> (
-      let updates, source =
+      let result, source =
         match mrt with
         | Some (_ :: _ as records) ->
-            ( List.filter_map
+            let updates =
+              List.filter_map
                 (fun (r : Tdat_bgp.Mrt.record) ->
                   match r.Tdat_bgp.Mrt.msg with
                   | Tdat_bgp.Msg.Update u when u.Tdat_bgp.Msg.nlri <> [] ->
                       Some (r.Tdat_bgp.Mrt.ts, u.Tdat_bgp.Msg.nlri)
                   | _ -> None)
-                records,
-              Archive )
+                records
+            in
+            (Mct.transfer_end ?config:mct ~start:start_ts updates, Archive)
         | Some [] | None ->
-            ( Tdat_bgp.Mct.of_timed_msgs
-                (Tdat_bgp.Msg_reader.extract_from_trace trace ~flow),
+            (* Streaming scan: reassemble into a per-domain scratch
+               buffer and fold the update stream directly — no decoded
+               message or prefix list ever materializes. *)
+            ( Tdat_parallel.Scratch.(with_bytes ~slot:slot_reassembly 4096)
+                (fun cell ->
+                  let reasm =
+                    Tdat_bgp.Msg_reader.reassemble_from_trace ~scratch:cell
+                      trace ~flow
+                  in
+                  Mct.transfer_end_of_reasm ?config:mct ~start:start_ts reasm),
               Reconstructed )
       in
-      match Mct.transfer_end ?config:mct ~start:start_ts updates with
+      match result with
       | None -> None
       | Some r ->
           Some

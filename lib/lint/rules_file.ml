@@ -133,6 +133,11 @@ let default_hot_paths =
               "fold_file" ] );
     ("Span_set", All);
     ("Trace", Funcs [ "conn_key"; "partition_connections"; "split_connection" ]);
+    ("Slice", All);
+    ( "Series_gen",
+      Funcs [ "series_of_spans"; "flight_series"; "episode_series";
+              "generate" ] );
+    ("Pool", Funcs [ "map"; "exec_chunk"; "drain" ]);
   ]
 
 (* (last qualifying module, ident) pairs whose minor-heap appetite is the

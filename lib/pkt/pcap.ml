@@ -163,25 +163,8 @@ let encode trace =
 
 type endianness = Le | Be
 
-let get_u8 b off = Char.code (Bytes.get b off)
-
-let get_u16 e b off =
-  match e with
-  | Le -> get_u8 b off lor (get_u8 b (off + 1) lsl 8)
-  | Be -> (get_u8 b off lsl 8) lor get_u8 b (off + 1)
-
-let get_u32 e b off =
-  match e with
-  | Le ->
-      get_u8 b off
-      lor (get_u8 b (off + 1) lsl 8)
-      lor (get_u8 b (off + 2) lsl 16)
-      lor (get_u8 b (off + 3) lsl 24)
-  | Be ->
-      (get_u8 b off lsl 24)
-      lor (get_u8 b (off + 1) lsl 16)
-      lor (get_u8 b (off + 2) lsl 8)
-      lor get_u8 b (off + 3)
+let get_u32 e s off =
+  match e with Le -> Slice.u32le s off | Be -> Slice.u32be s off
 
 type stats = { records : int; decoded : int; skipped : int; clipped : int }
 
@@ -194,11 +177,15 @@ exception Skip_record
    kept. *)
 exception Stop_reading
 
-(* Decode one captured frame ([incl] valid bytes of [frame]) into a TCP
-   segment.  The frame is parsed snaplen-correctly: the segment's [len]
-   comes from the declared IP/TCP header lengths, the payload keeps only
-   the captured bytes (possibly fewer than [len]). *)
-let decode_frame ~emit ~clipped ~ri ~ts frame incl =
+(* Decode one captured frame (a [Slice.t] over the captured bytes of the
+   reused record buffer) into a TCP segment.  The frame is parsed
+   snaplen-correctly: the segment's [len] comes from the declared IP/TCP
+   header lengths, the payload keeps only the captured bytes (possibly
+   fewer than [len]).  Everything is read in place through the slice;
+   the only allocations are the outputs kept past this record (the
+   segment, its payload, any diagnostics). *)
+let decode_frame ~emit ~clipped ~ri ~ts frame =
+  let incl = Slice.length frame in
   let skip d =
     emit d;
     raise_notrace Skip_record
@@ -206,13 +193,13 @@ let decode_frame ~emit ~clipped ~ri ~ts frame incl =
   try
     if incl < ethernet_header_len then
       skip (Diag.info ~record:ri ~code:"P009" "runt frame (%d captured bytes)" incl);
-    let ethertype = get_u16 Be frame 12 in
+    let ethertype = Slice.u16be frame 12 in
     let l2, ethertype =
       if ethertype = 0x8100 then begin
         if incl < ethernet_header_len + 4 then
           skip (Diag.info ~record:ri ~code:"P009" "runt 802.1Q frame");
         emit (Diag.info ~record:ri ~code:"P010" "802.1Q VLAN-tagged frame");
-        (ethernet_header_len + 4, get_u16 Be frame 16)
+        (ethernet_header_len + 4, Slice.u16be frame 16)
       end
       else (ethernet_header_len, ethertype)
     in
@@ -224,21 +211,21 @@ let decode_frame ~emit ~clipped ~ri ~ts frame incl =
       skip
         (Diag.warning ~record:ri ~code:"P006"
            "capture ends inside the IPv4 header");
-    let vihl = get_u8 frame l2 in
+    let vihl = Slice.u8 frame l2 in
     if vihl lsr 4 <> 4 then
       skip (Diag.warning ~record:ri ~code:"P006" "IP version %d" (vihl lsr 4));
     let ihl = (vihl land 0x0F) * 4 in
     if ihl < ipv4_header_len then
       skip (Diag.warning ~record:ri ~code:"P006" "bad IHL %d" ihl);
-    let proto = get_u8 frame (l2 + 9) in
+    let proto = Slice.u8 frame (l2 + 9) in
     if proto <> 6 then raise_notrace Skip_record (* non-TCP traffic *);
-    let ip_total = get_u16 Be frame (l2 + 2) in
+    let ip_total = Slice.u16be frame (l2 + 2) in
     let tcp = l2 + ihl in
     if tcp + 20 > incl then
       skip
         (Diag.warning ~record:ri ~code:"P007"
            "capture ends inside the TCP header");
-    let doff = (get_u8 frame (tcp + 12) lsr 4) * 4 in
+    let doff = (Slice.u8 frame (tcp + 12) lsr 4) * 4 in
     if doff < 20 then
       skip (Diag.warning ~record:ri ~code:"P007" "bad TCP data offset %d" doff);
     if ihl + doff > ip_total then
@@ -254,53 +241,61 @@ let decode_frame ~emit ~clipped ~ri ~ts frame incl =
     let captured = max 0 (min len (incl - payload_off)) in
     if captured < len then incr clipped;
     let payload =
-      if captured = 0 then "" else Bytes.sub_string frame payload_off captured
+      if captured = 0 then ""
+      else Slice.sub_string frame ~off:payload_off ~len:captured
     in
     (* Option scan, bounded by both the declared header end and the
        captured bytes: clipped options end the scan silently, options
-       that overrun their own header are malformed (P008). *)
-    let mss_opt = ref None in
+       that overrun their own header are malformed (P008).  The scan
+       threads the found MSS as a plain int (-1 = absent) so a clean
+       frame costs no ref cell and no [Some] box. *)
     let hdr_end = tcp + doff in
     let limit = min hdr_end incl in
-    let rec scan o =
-      if o < limit then
-        match get_u8 frame o with
-        | 0 -> () (* end of options *)
-        | 1 -> scan (o + 1) (* no-op padding *)
+    let rec scan o mss =
+      if o >= limit then mss
+      else
+        match Slice.u8 frame o with
+        | 0 -> mss (* end of options *)
+        | 1 -> scan (o + 1) mss (* no-op padding *)
         | kind ->
             if o + 2 > limit then begin
               if limit >= hdr_end then
                 emit
                   (Diag.warning ~record:ri ~code:"P008"
-                     "TCP option %d overruns the header" kind)
+                     "TCP option %d overruns the header" kind);
+              mss
             end
             else begin
-              let olen = get_u8 frame (o + 1) in
-              if olen < 2 then
+              let olen = Slice.u8 frame (o + 1) in
+              if olen < 2 then begin
                 emit
                   (Diag.warning ~record:ri ~code:"P008"
-                     "TCP option %d has bad length %d" kind olen)
-              else if o + olen > hdr_end then
-                emit
-                  (Diag.warning ~record:ri ~code:"P008"
-                     "TCP option %d (length %d) overruns the header" kind olen)
-              else if o + olen > limit then () (* snaplen-clipped options *)
-              else begin
-                if kind = 2 && olen = 4 then
-                  mss_opt := Some (get_u16 Be frame (o + 2));
-                scan (o + olen)
+                     "TCP option %d has bad length %d" kind olen);
+                mss
               end
+              else if o + olen > hdr_end then begin
+                emit
+                  (Diag.warning ~record:ri ~code:"P008"
+                     "TCP option %d (length %d) overruns the header" kind olen);
+                mss
+              end
+              else if o + olen > limit then mss (* snaplen-clipped options *)
+              else
+                scan (o + olen)
+                  (if kind = 2 && olen = 4 then Slice.u16be frame (o + 2)
+                   else mss)
             end
     in
-    scan (tcp + 20);
-    let src_ip = Int32.of_int (get_u32 Be frame (l2 + 12)) in
-    let dst_ip = Int32.of_int (get_u32 Be frame (l2 + 16)) in
-    let src_port = get_u16 Be frame tcp in
-    let dst_port = get_u16 Be frame (tcp + 2) in
-    let seq = get_u32 Be frame (tcp + 4) in
-    let ack = get_u32 Be frame (tcp + 8) in
-    let fl = get_u8 frame (tcp + 13) in
-    let window = get_u16 Be frame (tcp + 14) in
+    let mss = scan (tcp + 20) (-1) in
+    let mss_opt = if mss < 0 then None else Some mss in
+    let src_ip = Slice.i32be frame (l2 + 12) in
+    let dst_ip = Slice.i32be frame (l2 + 16) in
+    let src_port = Slice.u16be frame tcp in
+    let dst_port = Slice.u16be frame (tcp + 2) in
+    let seq = Slice.u32be frame (tcp + 4) in
+    let ack = Slice.u32be frame (tcp + 8) in
+    let fl = Slice.u8 frame (tcp + 13) in
+    let window = Slice.u16be frame (tcp + 14) in
     let flags =
       Tcp_segment.flags ~fin:(fl land 0x01 <> 0) ~syn:(fl land 0x02 <> 0)
         ~rst:(fl land 0x04 <> 0) ~psh:(fl land 0x08 <> 0)
@@ -310,7 +305,7 @@ let decode_frame ~emit ~clipped ~ri ~ts frame incl =
       (Tcp_segment.v ~ts
          ~src:(Endpoint.v src_ip src_port)
          ~dst:(Endpoint.v dst_ip dst_port)
-         ~seq ~ack ~len ~window ~flags ?mss_opt:!mss_opt ~payload ())
+         ~seq ~ack ~len ~window ~flags ?mss_opt ~payload ())
   with Skip_record -> None
 
 (* The streaming core: pull records one at a time from [read] (a
@@ -344,26 +339,31 @@ let fold_read ?(strict = false) ?(on_diag = fun (_ : Diag.t) -> ()) ~read ~init
   let acc = ref init in
   let t_read = if Obs.enabled Obs.default then Tdat_obs.Clock.now_s () else 0. in
   Tdat_obs.Span.with_ ~name:"pcap-read" @@ fun () ->
+  (* The record buffer is a per-domain arena slot: folds on the same
+     domain (each pool worker streams many captures) reuse one
+     high-water-mark buffer instead of allocating 64 KiB per file. *)
+  Tdat_parallel.Scratch.(with_bytes ~slot:slot_pcap_frame 65536) @@ fun fcell ->
   (try
      let ghdr = Bytes.create 24 in
+     let ghdr_s = Slice.of_bytes ghdr in
      if read_upto ghdr 24 < 24 then
        fatal (Diag.error ~code:"P002" "truncated header");
-     let raw_le = get_u32 Le ghdr 0 in
+     let raw_le = get_u32 Le ghdr_s 0 in
      let endian, ns =
        if Int32.equal (Int32.of_int raw_le) magic_us then (Le, false)
        else if Int32.equal (Int32.of_int raw_le) magic_ns then (Le, true)
        else begin
-         let raw_be = get_u32 Be ghdr 0 in
+         let raw_be = get_u32 Be ghdr_s 0 in
          if Int32.equal (Int32.of_int raw_be) magic_us then (Be, false)
          else if Int32.equal (Int32.of_int raw_be) magic_ns then (Be, true)
          else fatal (Diag.error ~code:"P001" "bad magic")
        end
      in
-     let link_type = get_u32 endian ghdr 20 in
+     let link_type = get_u32 endian ghdr_s 20 in
      if link_type <> 1 then
        fatal (Diag.error ~code:"P003" "unsupported link type");
      let rhdr = Bytes.create 16 in
-     let frame = ref (Bytes.create 65536) in
+     let rhdr_s = Slice.of_bytes rhdr in
      let stop = ref false in
      while not !stop do
        let n = read_upto rhdr 16 in
@@ -375,7 +375,7 @@ let fold_read ?(strict = false) ?(on_diag = fun (_ : Diag.t) -> ()) ~read ~init
          stop := true
        end
        else begin
-         let incl = get_u32 endian rhdr 8 in
+         let incl = get_u32 endian rhdr_s 8 in
          if incl > max_record_len then begin
            emit
              (Diag.warning ~record:!records ~code:"P005"
@@ -383,22 +383,16 @@ let fold_read ?(strict = false) ?(on_diag = fun (_ : Diag.t) -> ()) ~read ~init
            stop := true
          end
          else begin
-           if incl > Bytes.length !frame then begin
-             let cap = ref (Bytes.length !frame) in
-             while incl > !cap do
-               cap := !cap * 2
-             done;
-             frame := Bytes.create !cap
-           end;
-           let got = read_upto !frame incl in
+           let frame = Tdat_parallel.Scratch.ensure fcell incl in
+           let got = read_upto frame incl in
            if got < incl then begin
              emit
                (Diag.warning ~record:!records ~code:"P005" "truncated packet");
              stop := true
            end
            else begin
-             let ts_sec = get_u32 endian rhdr 0 in
-             let ts_sub = get_u32 endian rhdr 4 in
+             let ts_sec = get_u32 endian rhdr_s 0 in
+             let ts_sub = get_u32 endian rhdr_s 4 in
              let ts_us = if ns then ts_sub / 1000 else ts_sub in
              let ts = (ts_sec * 1_000_000) + ts_us in
              let ri = !records in
@@ -407,7 +401,10 @@ let fold_read ?(strict = false) ?(on_diag = fun (_ : Diag.t) -> ()) ~read ~init
              (* +16: the per-record pcap header travels with the frame. *)
              Obs.Counter.add m_bytes (incl + 16);
              Obs.Histogram.observe h_record_bytes (float_of_int incl);
-             match decode_frame ~emit ~clipped ~ri ~ts !frame incl with
+             match
+               decode_frame ~emit ~clipped ~ri ~ts
+                 (Slice.of_bytes ~len:incl frame)
+             with
              | Some seg ->
                  incr decoded;
                  Obs.Counter.incr m_segments;

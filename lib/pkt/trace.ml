@@ -10,6 +10,8 @@ let of_segments ?(voids = Span_set.empty) segs =
 let segments t = Array.to_list t.segments
 let voids t = t.voids
 let length t = Array.length t.segments
+let get t i = t.segments.(i)
+let iter f t = Array.iter f t.segments
 
 let total_bytes t =
   Array.fold_left (fun acc (s : Tcp_segment.t) -> acc + s.len) 0 t.segments

@@ -13,6 +13,13 @@ val segments : t -> Tcp_segment.t list
 val voids : t -> Tdat_timerange.Span_set.t
 val length : t -> int
 
+val get : t -> int -> Tcp_segment.t
+(** [get t i]: the [i]-th segment in time order.  With {!length}, the
+    copy-free alternative to {!segments} on hot paths. *)
+
+val iter : (Tcp_segment.t -> unit) -> t -> unit
+(** Visit every segment in time order without materializing a list. *)
+
 val total_bytes : t -> int
 (** Sum of payload lengths. *)
 

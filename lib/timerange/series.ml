@@ -12,7 +12,7 @@ let of_list events =
 
 let to_list = Array.to_list
 let cardinal = Array.length
-let to_span_set s = Span_set.of_spans (List.map fst (to_list s))
+let to_span_set s = Span_set.of_span_array (Array.map fst s)
 let size s = Span_set.size (to_span_set s)
 let map f s = Array.map (fun (sp, x) -> (sp, f x)) s
 
@@ -21,8 +21,31 @@ let map_spans f s =
   Array.stable_sort compare_event a;
   a
 
+(* Count-then-fill (DESIGN.md, "Allocation discipline"): one counting
+   pass, one pre-sized result array, no list intermediates.  Events are
+   never mutated after construction, so the no-op cases share the input
+   array. *)
 let filter f s =
-  Array.to_list s |> List.filter (fun (sp, x) -> f sp x) |> Array.of_list
+  let n = Array.length s in
+  let count = ref 0 in
+  for i = 0 to n - 1 do
+    let sp, x = s.(i) in
+    if f sp x then incr count
+  done;
+  if !count = 0 then empty
+  else if !count = n then s
+  else begin
+    let out = Array.make !count s.(0) in
+    let k = ref 0 in
+    for i = 0 to n - 1 do
+      let sp, x = s.(i) in
+      if f sp x then begin
+        out.(!k) <- s.(i);
+        incr k
+      end
+    done;
+    out
+  end
 
 let fold f s acc = Array.fold_left (fun acc (sp, x) -> f sp x acc) acc s
 let iter f s = Array.iter (fun (sp, x) -> f sp x) s
@@ -33,23 +56,53 @@ let merge a b =
   out
 
 let clip window s =
-  Array.to_list s
-  |> List.filter_map (fun (sp, x) ->
-         match Span.inter window sp with
-         | Some sp' -> Some (sp', x)
-         | None -> None)
-  |> Array.of_list
+  let n = Array.length s in
+  let count = ref 0 in
+  for i = 0 to n - 1 do
+    (* [overlaps] agrees with [inter] being [Some] and allocates
+       nothing, so the counting pass is free. *)
+    if Span.overlaps window (fst s.(i)) then incr count
+  done;
+  if !count = 0 then empty
+  else begin
+    let out = Array.make !count s.(0) in
+    let k = ref 0 in
+    for i = 0 to n - 1 do
+      let sp, x = s.(i) in
+      match Span.inter window sp with
+      | Some sp' ->
+          out.(!k) <- (if Span.equal sp' sp then s.(i) else (sp', x));
+          incr k
+      | None -> ()
+    done;
+    out
+  end
 
 let durations s = List.map (fun (sp, _) -> Span.length sp) (to_list s)
 
 let events_in window s =
   List.filter (fun (sp, _) -> Span.overlaps window sp) (to_list s)
 
-type 'a builder = (Span.t * 'a) list ref
+(* Growable-array builder: an event costs its tuple plus amortized one
+   slot, instead of a list cell per event plus a full copy in [build]. *)
+type 'a builder = { mutable arr : (Span.t * 'a) array; mutable len : int }
 
-let builder () = ref []
-let add b sp x = b := (sp, x) :: !b
-let build b = of_list !b
+let builder () = { arr = [||]; len = 0 }
+
+let add b sp x =
+  let cap = Array.length b.arr in
+  if b.len = cap then begin
+    let bigger = Array.make (if cap = 0 then 16 else 2 * cap) (sp, x) in
+    Array.blit b.arr 0 bigger 0 b.len;
+    b.arr <- bigger
+  end;
+  b.arr.(b.len) <- (sp, x);
+  b.len <- b.len + 1
+
+let build b =
+  let a = Array.sub b.arr 0 b.len in
+  Array.stable_sort compare_event a;
+  a
 
 let pp pp_data ppf s =
   let pp_event ppf (sp, x) =

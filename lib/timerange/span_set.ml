@@ -46,6 +46,12 @@ let of_spans spans =
   Array.sort Span.compare a;
   coalesce_sorted_arr a
 
+(* Array-input variant for hot callers ({!Series.to_span_set}): takes
+   ownership of [spans] (sorts it in place), so pass a fresh array. *)
+let of_span_array spans =
+  Array.sort Span.compare spans;
+  coalesce_sorted_arr spans
+
 let of_span s = [| s |]
 let to_list s = Array.to_list s
 let cardinal = Array.length

@@ -17,6 +17,10 @@ val of_spans : Span.t list -> t
 (** Builds the canonical form: sorts, then coalesces overlapping or
     adjacent spans.  Input may be in any order. *)
 
+val of_span_array : Span.t array -> t
+(** As {!of_spans} from an array, without list intermediates.  Takes
+    ownership of the array (sorts it in place): pass a fresh one. *)
+
 val of_span : Span.t -> t
 val add : Span.t -> t -> t
 

@@ -14,6 +14,7 @@ let () =
       ("detectors", Test_detectors.suite);
       ("fleet", Test_fleet.suite);
       ("properties", Test_properties.suite);
+      ("equiv", Test_equiv.suite);
       ("audit", Test_audit.suite);
       ("lint", Test_lint.suite);
       ("study", Test_study.suite);
