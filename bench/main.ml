@@ -11,7 +11,7 @@
 
 let registry =
   Experiments.registry @ Ablations.registry @ Scaling.registry
-  @ Perf_gate.registry
+  @ Perf_gate.registry @ Serve_load.registry
 
 let usage () =
   print_endline "experiments:";

@@ -94,15 +94,9 @@ let analyze_file obs pcap_path mrt_path show_series sender_side jobs strict =
           ~jobs r.Tdat_pkt.Pcap.trace
       in
       if results = [] then prerr_endline "no TCP connections found in trace";
-      List.iter
-        (fun (_, a) ->
-          print_endline (Tdat.Report.to_string a);
-          if show_series then begin
-            print_endline "-- event series --";
-            print_string (Tdat.Report.series_timeline a.Tdat.Analyzer.series)
-          end;
-          print_newline ())
-        results;
+      (* The same renderer a serve daemon answers with, so `tdat
+         analyze` and a serve analyze response are byte-identical. *)
+      print_string (Tdat_serve.Render.analysis ~series:show_series results);
       0
 
 (* A007: analyze the same trace at jobs=1 (reference) and jobs>1
@@ -382,12 +376,103 @@ let study_cmd =
       $ Tdat_obs_cli.term $ archives_arg $ jobs_arg $ study_strict_arg
       $ gap_arg $ min_prefixes_arg $ slow_arg $ json_arg $ no_plot_arg)
 
+let serve_daemon obs socket host port jobs queue cache =
+  Tdat_obs_cli.with_obs obs @@ fun () ->
+  let address =
+    match socket with
+    | Some path -> `Unix path
+    | None -> `Tcp (host, port)
+  in
+  let config =
+    {
+      Tdat_serve.Server.default_config with
+      address;
+      jobs;
+      queue_capacity = queue;
+      cache_capacity = cache;
+    }
+  in
+  let t = Tdat_serve.Server.start config in
+  (match Tdat_serve.Server.address t with
+  | `Unix path -> Printf.printf "tdat: serve: listening on %s\n%!" path
+  | `Tcp (h, p) -> Printf.printf "tdat: serve: listening on %s:%d\n%!" h p);
+  let drain = Sys.Signal_handle (fun _ -> Tdat_serve.Server.stop t) in
+  let prev_term = Sys.signal Sys.sigterm drain in
+  let prev_int = Sys.signal Sys.sigint drain in
+  Fun.protect
+    ~finally:(fun () ->
+      Sys.set_signal Sys.sigterm prev_term;
+      Sys.set_signal Sys.sigint prev_int)
+    (fun () -> Tdat_serve.Server.wait t);
+  0
+
+let serve_cmd =
+  let socket_arg =
+    let doc =
+      "Listen on a Unix-domain socket at $(docv) (removed on exit) \
+       instead of TCP."
+    in
+    Arg.(value & opt (some string) None & info [ "socket" ] ~docv:"PATH" ~doc)
+  in
+  let host_arg =
+    let doc = "TCP listen address (ignored with $(b,--socket))." in
+    Arg.(value & opt string "127.0.0.1" & info [ "host" ] ~docv:"HOST" ~doc)
+  in
+  let port_arg =
+    let doc =
+      "TCP listen port (0 picks an ephemeral port, printed on start; \
+       ignored with $(b,--socket))."
+    in
+    Arg.(value & opt int 4774 & info [ "port" ] ~docv:"PORT" ~doc)
+  in
+  let queue_arg =
+    let doc =
+      "Admission-queue capacity: jobs beyond $(docv) queued-but-unstarted \
+       are rejected with a 429-style $(b,busy) error."
+    in
+    Arg.(value & opt int 64 & info [ "queue" ] ~docv:"N" ~doc)
+  in
+  let cache_arg =
+    let doc =
+      "Decoded captures/archives kept in the LRU cache, per input kind \
+       (entries are invalidated when the file's mtime or size changes)."
+    in
+    Arg.(value & opt int 16 & info [ "cache" ] ~docv:"N" ~doc)
+  in
+  let doc = "Run the long-lived analysis daemon" in
+  let man =
+    [
+      `S Manpage.s_description;
+      `P
+        "Listens on a Unix-domain or TCP socket and answers \
+         line-delimited JSON requests: one object per line carrying a \
+         $(b,cmd) of $(b,analyze), $(b,check), $(b,study), $(b,ping), \
+         $(b,stats) or $(b,shutdown).  Analysis jobs run on a bounded \
+         admission queue in front of $(b,--jobs) worker domains; decoded \
+         inputs are cached and revalidated by file mtime+size; a full \
+         queue answers $(b,busy) (429) instead of stalling the socket.  \
+         SIGTERM (or the $(b,shutdown) verb) drains gracefully: accepted \
+         jobs finish and their responses flush before the process exits.  \
+         The $(b,analyze) response's $(b,output) member is byte-identical \
+         to $(b,tdat analyze) stdout for the same file.  See DESIGN.md, \
+         \"Service architecture\".";
+    ]
+  in
+  Cmd.v
+    (Cmd.info "serve" ~doc ~man)
+    Term.(
+      const (fun obs socket host port j queue cache ->
+          serve_daemon obs socket host port (clamp_jobs j) (max 1 queue)
+            (max 1 cache))
+      $ Tdat_obs_cli.term $ socket_arg $ host_arg $ port_arg $ jobs_arg
+      $ queue_arg $ cache_arg)
+
 let cmd =
   let doc = "TCP delay analysis for BGP table transfers (T-DAT)" in
   Cmd.group
     (Cmd.info "tdat" ~version:"1.0.0" ~doc)
     ~default:analyze_term
-    [ analyze_cmd; check_cmd; study_cmd ]
+    [ analyze_cmd; check_cmd; study_cmd; serve_cmd ]
 
 (* Backward compatibility: `tdat TRACE.pcap ...` (the pre-subcommand
    spelling, still what README documents first) means `tdat analyze
@@ -399,6 +484,7 @@ let argv =
     && (not (String.equal argv.(1) "analyze"))
     && (not (String.equal argv.(1) "check"))
     && (not (String.equal argv.(1) "study"))
+    && (not (String.equal argv.(1) "serve"))
     && String.length argv.(1) > 0
     && argv.(1).[0] <> '-'
   then

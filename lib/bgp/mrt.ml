@@ -342,23 +342,35 @@ let fold_string ?strict ?on_diag s ~init f =
   in
   fold_fill ?strict ?on_diag fill ~init f
 
-let fold_channel ?strict ?on_diag ic ~init f =
-  let fill buf n =
-    let rec go pos =
-      if pos >= n then pos
-      else
-        let r = input ic buf pos (n - pos) in
-        if r = 0 then pos else go (pos + r)
-    in
-    go 0
+(* Turn an [Ingest_io] reader into the [fill buf n] primitive the fold
+   wants: loop short reads until the frame is complete or the reader
+   reports a true EOF.  The reader itself retries EINTR and (with
+   [~follow]) polls a still-growing source, so a partial [fill] result
+   here really is end-of-capture, never a transient condition. *)
+let fill_of_read (read : Tdat_pkt.Ingest_io.read) buf n =
+  let rec go pos =
+    if pos >= n then pos
+    else
+      let r = read buf pos (n - pos) in
+      if r = 0 then pos else go (pos + r)
   in
-  fold_fill ?strict ?on_diag fill ~init f
+  go 0
 
-let fold_file ?strict ?on_diag path ~init f =
+let fold_channel ?strict ?on_diag ?follow ic ~init f =
+  fold_fill ?strict ?on_diag
+    (fill_of_read (Tdat_pkt.Ingest_io.of_channel ?follow ic))
+    ~init f
+
+let fold_fd ?strict ?on_diag ?follow fd ~init f =
+  fold_fill ?strict ?on_diag
+    (fill_of_read (Tdat_pkt.Ingest_io.of_fd ?follow fd))
+    ~init f
+
+let fold_file ?strict ?on_diag ?follow path ~init f =
   let ic = open_in_bin path in
   Fun.protect
     ~finally:(fun () -> close_in ic)
-    (fun () -> fold_channel ?strict ?on_diag ic ~init f)
+    (fun () -> fold_channel ?strict ?on_diag ?follow ic ~init f)
 
 let result_of_fold fold =
   let diags = ref [] in

@@ -132,17 +132,34 @@ val fold_string :
 val fold_channel :
   ?strict:bool ->
   ?on_diag:(Diag.t -> unit) ->
+  ?follow:Tdat_pkt.Ingest_io.follow ->
   in_channel ->
   init:'a ->
   ('a -> entry -> 'a) ->
   'a * stats
 (** Streaming fold over a (binary) channel in bounded memory: the
     channel is read record by record into a reused buffer that never
-    exceeds the largest record. *)
+    exceeds the largest record.  Reads are [EINTR]-safe and short reads
+    are looped, so pipes and sockets never truncate a record; with
+    [~follow] (see {!Tdat_pkt.Ingest_io.follow_idle}) EOF polls the
+    source instead of ending the archive — the tailing mode for a
+    still-growing file. *)
+
+val fold_fd :
+  ?strict:bool ->
+  ?on_diag:(Diag.t -> unit) ->
+  ?follow:Tdat_pkt.Ingest_io.follow ->
+  Unix.file_descr ->
+  init:'a ->
+  ('a -> entry -> 'a) ->
+  'a * stats
+(** {!fold_channel} over a raw descriptor ([Unix.read]) — the right
+    entry point for pipes, sockets and tailed files. *)
 
 val fold_file :
   ?strict:bool ->
   ?on_diag:(Diag.t -> unit) ->
+  ?follow:Tdat_pkt.Ingest_io.follow ->
   string ->
   init:'a ->
   ('a -> entry -> 'a) ->

@@ -127,10 +127,10 @@ let default_hot_paths =
   [
     ( "Pcap",
       Funcs [ "decode_frame"; "fold_read"; "fold_string"; "fold_channel";
-              "fold_file" ] );
+              "fold_fd"; "fold_file" ] );
     ( "Mrt",
-      Funcs [ "parse_body"; "fold_fill"; "fold_string"; "fold_channel";
-              "fold_file" ] );
+      Funcs [ "parse_body"; "fold_fill"; "fill_of_read"; "fold_string";
+              "fold_channel"; "fold_fd"; "fold_file" ] );
     ("Span_set", All);
     ("Trace", Funcs [ "conn_key"; "partition_connections"; "split_connection" ]);
     ("Slice", All);
@@ -138,6 +138,12 @@ let default_hot_paths =
       Funcs [ "series_of_spans"; "flight_series"; "episode_series";
               "generate" ] );
     ("Pool", Funcs [ "map"; "exec_chunk"; "drain" ]);
+    (* The serve daemon's per-byte request loop: framing, socket
+       shuffling and outbox routing run once per select wake-up. *)
+    ( "Server",
+      Funcs [ "conn_lines"; "handle_readable"; "flush_conn"; "drain_outbox";
+              "reap" ] );
+    ("Ingest_io", Funcs [ "of_read"; "retry_eintr" ]);
   ]
 
 (* (last qualifying module, ident) pairs whose minor-heap appetite is the

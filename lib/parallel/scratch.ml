@@ -20,6 +20,16 @@
    record keeps 1 MiB parked, and in exchange the steady state
    allocates nothing. *)
 
+(* Reentrant checkouts are correct but costly: the fallback buffer is
+   allocated fresh per call.  The volatile counter makes that cost
+   visible (`scratch.fallbacks` in a --metrics snapshot) instead of
+   silent — a hot loop that keeps hitting it needs its own slot.
+   Volatile because the count depends on call nesting and domain
+   layout, not on the input alone. *)
+module Obs = Tdat_obs.Metrics
+
+let m_fallbacks = Obs.Counter.make ~stable:false "scratch.fallbacks"
+
 type cell = { mutable buf : Bytes.t; mutable busy : bool }
 type icell = { mutable arr : int array; mutable ibusy : bool }
 
@@ -78,11 +88,15 @@ let ensure cell n =
 
 (* Grow preserving contents — the streaming readers enlarge a frame
    buffer mid-record only before refilling it, so plain [ensure] is the
-   common case; [ensure_keep] covers reassembly-style growth. *)
+   common case; [ensure_keep] covers reassembly-style growth.  Growth
+   is explicitly geometric (at least double the current capacity), so a
+   caller that enlarges its request byte-by-byte — reassembly appending
+   one segment at a time — pays O(log n) copies over the buffer's
+   lifetime, never one copy per request. *)
 let ensure_keep cell n =
   let old = cell.buf in
   if Bytes.length old < n then begin
-    let bigger = Bytes.create (round_up n) in
+    let bigger = Bytes.create (max (2 * Bytes.length old) (round_up n)) in
     Bytes.blit old 0 bigger 0 (Bytes.length old);
     cell.buf <- bigger
   end;
@@ -90,7 +104,10 @@ let ensure_keep cell n =
 
 let with_bytes ~slot n f =
   let cell = cell_at (get ()) slot in
-  if cell.busy then f { buf = Bytes.create (round_up n); busy = true }
+  if cell.busy then begin
+    Obs.Counter.incr m_fallbacks;
+    f { buf = Bytes.create (round_up n); busy = true }
+  end
   else begin
     cell.busy <- true;
     ignore (ensure cell n : Bytes.t);
@@ -99,9 +116,13 @@ let with_bytes ~slot n f =
 
 let with_ints ~slot n f =
   let cell = icell_at (get ()) slot in
-  if cell.ibusy then f (Array.make (max 1 n) 0)
+  if cell.ibusy then begin
+    Obs.Counter.incr m_fallbacks;
+    f (Array.make (max 1 n) 0)
+  end
   else begin
     cell.ibusy <- true;
     if Array.length cell.arr < n then cell.arr <- Array.make (round_up n) 0;
     Fun.protect ~finally:(fun () -> cell.ibusy <- false) (fun () -> f cell.arr)
   end
+

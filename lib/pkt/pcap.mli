@@ -95,20 +95,49 @@ val fold_string :
     folding [f] over the TCP segments in capture order.  Diagnostics are
     streamed to [on_diag] instead of being accumulated. *)
 
+val fold_read :
+  ?strict:bool ->
+  ?on_diag:(Diag.t -> unit) ->
+  read:Ingest_io.read ->
+  init:'a ->
+  ('a -> Tcp_segment.t -> 'a) ->
+  'a * stats
+(** The generic streaming fold every other reader is built on: pull
+    records through an arbitrary {!Ingest_io.read} (a custom transport,
+    an instrumented source in tests).  The fold only ends the capture
+    when [read] returns [0]. *)
+
 val fold_channel :
   ?strict:bool ->
   ?on_diag:(Diag.t -> unit) ->
+  ?follow:Ingest_io.follow ->
   in_channel ->
   init:'a ->
   ('a -> Tcp_segment.t -> 'a) ->
   'a * stats
 (** Streaming fold over a (buffered, binary) channel in bounded memory:
     the channel is read record by record into a reused frame buffer that
-    never exceeds the largest record. *)
+    never exceeds the largest record.  Reads are [EINTR]-safe and short
+    reads are looped, so pipes and sockets never truncate a record; with
+    [~follow] (see {!Ingest_io.follow_idle}) EOF polls the source
+    instead of ending the capture — the tailing mode for a still-growing
+    file. *)
+
+val fold_fd :
+  ?strict:bool ->
+  ?on_diag:(Diag.t -> unit) ->
+  ?follow:Ingest_io.follow ->
+  Unix.file_descr ->
+  init:'a ->
+  ('a -> Tcp_segment.t -> 'a) ->
+  'a * stats
+(** {!fold_channel} over a raw descriptor ([Unix.read]) — the right
+    entry point for pipes, sockets and tailed files. *)
 
 val fold_file :
   ?strict:bool ->
   ?on_diag:(Diag.t -> unit) ->
+  ?follow:Ingest_io.follow ->
   string ->
   init:'a ->
   ('a -> Tcp_segment.t -> 'a) ->

@@ -1,0 +1,22 @@
+(** LRU cache of decoded inputs, keyed by [(path, mtime, size)].
+
+    A hit requires the file's current [stat] to match the cached
+    entry's — a rewritten or appended file re-decodes, so tailed and
+    regenerated captures are never served stale.  Lookups are safe
+    from any domain; the [load] callback runs outside the lock (two
+    concurrent misses may both load; the later store wins). *)
+
+type 'v t
+
+type stats = { entries : int; hits : int; misses : int }
+
+val create : capacity:int -> 'v t
+(** @raise Invalid_argument if [capacity < 1]. *)
+
+val find_or_load : 'v t -> string -> load:(string -> 'v) -> 'v * bool
+(** [find_or_load t path ~load] returns the cached (or freshly loaded
+    and inserted) value and whether it was a hit.  Raises whatever
+    [Unix.stat path] or [load path] raises — an unreadable path is the
+    caller's typed error, never a cache entry. *)
+
+val stats : 'v t -> stats

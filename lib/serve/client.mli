@@ -1,0 +1,20 @@
+(** A blocking client for the serve protocol (tests, the load bench,
+    interactive poking).  Not domain-safe: one client per domain. *)
+
+type t
+
+val connect : [ `Unix of string | `Tcp of string * int ] -> t
+(** @raise Unix.Unix_error when the server cannot be reached. *)
+
+val close : t -> unit
+
+val rpc : t -> Json.t -> (Json.t, string) result
+(** One request, one response.  [Error] means transport or framing
+    broke — protocol-level failures come back as [Ok] responses with
+    [ok:false]. *)
+
+val send_line : t -> string -> unit
+(** Raw line send, for pipelining and malformed-input tests. *)
+
+val recv_line : t -> string option
+(** Next response line; [None] on orderly EOF. *)

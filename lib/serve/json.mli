@@ -1,0 +1,33 @@
+(** A minimal, dependency-free JSON codec for the serve protocol.
+
+    Strict parser (complete escapes including surrogate pairs, no
+    trailing garbage) and deterministic emitter (member order
+    preserved, fixed number formatting).  Numbers are floats — protocol
+    numbers are ids, counts and seconds, all far inside 2^53. *)
+
+type t =
+  | Null
+  | Bool of bool
+  | Num of float
+  | Str of string
+  | Arr of t list
+  | Obj of (string * t) list
+
+val parse : string -> (t, string) result
+(** [Error msg] carries the offset of the first problem. *)
+
+val to_string : t -> string
+(** Single-line (no newlines anywhere), suitable for the
+    line-delimited protocol. *)
+
+val member : string -> t -> t option
+(** Field lookup; [None] on missing field or non-object. *)
+
+val to_string_opt : t -> string option
+val to_float_opt : t -> float option
+
+val to_int_opt : t -> int option
+(** [Some] only for numbers with zero fractional part. *)
+
+val to_bool_opt : t -> bool option
+val to_list_opt : t -> t list option

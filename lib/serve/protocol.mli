@@ -1,0 +1,56 @@
+(** The serve wire protocol: one JSON object per line in both
+    directions.  See DESIGN.md, "Service architecture". *)
+
+type error = { code : string; status : int; message : string }
+
+val err_bad_json : string -> error
+val err_bad_request : string -> error
+val err_not_found : string -> error
+
+(** 429: admission queue full. *)
+val err_busy : error
+
+(** 503: server shutting down. *)
+val err_draining : error
+val err_internal : string -> error
+
+type follow = { idle_s : float; limit_s : float }
+(** Tailing policy for a still-growing input file: keep reading while
+    the file grew within the last [idle_s] seconds, hard-capped at
+    [limit_s] total. *)
+
+type request =
+  | Ping
+  | Stats
+  | Shutdown
+  | Sleep of { ms : float }  (** Load-test / drain-test verb. *)
+  | Analyze of {
+      path : string;
+      series : bool;
+      sender_side : bool;
+      follow : follow option;
+    }
+  | Check of { path : string }
+  | Study of {
+      paths : string list;
+      gap_s : float;
+      min_prefixes : int;
+      slow_threshold_s : float option;
+      follow : follow option;
+    }
+
+val cmd_name : request -> string
+
+val is_job : request -> bool
+(** [true] for verbs that go through the admission queue; control
+    verbs (ping/stats/shutdown) answer inline on the event loop. *)
+
+type parsed = { id : Json.t; request : (request, error) result }
+
+val parse_line : string -> parsed
+(** Never raises: malformed JSON or a malformed request map to a typed
+    [error] (the connection survives).  [id] is echoed when the line
+    carried one, [Null] otherwise. *)
+
+val response_ok : id:Json.t -> cmd:string -> Json.t -> string
+val response_error : id:Json.t -> error -> string

@@ -1,0 +1,19 @@
+(* The one place the human-readable analysis text is assembled.  Both
+   `tdat analyze` (stdout) and a serve analyze response (the "output"
+   member) call this, so the daemon's answer is byte-identical to the
+   batch CLI's by construction — the acceptance bar for PR 8. *)
+
+let analysis ?(series = false) results =
+  let buf = Buffer.create 1024 in
+  List.iter
+    (fun (_flow, (a : Tdat.Analyzer.t)) ->
+      Buffer.add_string buf (Tdat.Report.to_string a);
+      Buffer.add_char buf '\n';
+      if series then begin
+        Buffer.add_string buf "-- event series --\n";
+        Buffer.add_string buf
+          (Tdat.Report.series_timeline a.Tdat.Analyzer.series)
+      end;
+      Buffer.add_char buf '\n')
+    results;
+  Buffer.contents buf

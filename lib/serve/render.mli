@@ -1,0 +1,7 @@
+val analysis :
+  ?series:bool -> (Tdat_pkt.Flow.t * Tdat.Analyzer.t) list -> string
+(** Exactly what [tdat analyze] prints to stdout for these results
+    (one report per connection, a blank line after each, the
+    ["-- event series --"] timeline when [series]).  [tdat serve]
+    returns this same string, so daemon and batch output are
+    byte-identical by construction. *)

@@ -1,0 +1,643 @@
+(* The `tdat serve` daemon (DESIGN.md, "Service architecture").
+
+   One event-loop domain owns every socket: it accepts connections,
+   frames line-delimited JSON requests, answers control verbs (ping /
+   stats / shutdown) inline, and submits analysis verbs to a
+   {!Tdat_parallel.Service} — the bounded admission queue in front of
+   the worker pool.  Workers never touch a socket: a finished job
+   pushes its response line into a mutex-guarded outbox and pokes the
+   loop through a self-pipe; the loop routes it to the connection's
+   output buffer and writes when the socket is writable.  Admission
+   control is visible on the wire: a full queue answers 429 [busy], a
+   draining server 503 [draining].
+
+   Graceful drain (SIGTERM or the shutdown verb): stop accepting
+   connections and jobs, run every accepted job to completion, flush
+   every response, then close.  The invariant is [pending] — accepted
+   jobs whose response has not yet reached the outbox — so the loop
+   only exits once [pending = 0] and all output buffers are empty: no
+   accepted job is ever dropped.
+
+   Each request runs its analysis at [jobs:1]: the request already
+   occupies a pool worker, and cross-request parallelism is the
+   service's job.  Results are identical either way (the analyzer is
+   deterministic in [jobs]). *)
+
+module Log = Tdat_obs.Log
+module Obs = Tdat_obs.Metrics
+module Service = Tdat_parallel.Service
+
+type address = [ `Unix of string | `Tcp of string * int ]
+
+type config = {
+  address : address;
+  jobs : int;  (** Worker domains in the pool. *)
+  queue_capacity : int;  (** Admission-queue bound (429 beyond it). *)
+  cache_capacity : int;  (** Decoded captures/archives kept per kind. *)
+  max_line_bytes : int;  (** Requests longer than this close the conn. *)
+}
+
+let default_config =
+  {
+    address = `Tcp ("127.0.0.1", 0);
+    jobs = Tdat_parallel.Pool.default_jobs ();
+    queue_capacity = 64;
+    cache_capacity = 16;
+    max_line_bytes = 1 lsl 20;
+  }
+
+let m_requests = Obs.Counter.make ~stable:false "serve.requests"
+let m_errors = Obs.Counter.make ~stable:false "serve.errors"
+
+let m_request_us =
+  Obs.Histogram.make ~stable:false ~buckets:Obs.Histogram.time_us_buckets
+    "serve.request_us"
+
+type caches = {
+  pcap : Tdat_pkt.Pcap.result Cache.t;
+  mrt : Tdat_bgp.Mrt.result Cache.t;
+}
+
+type conn = {
+  fd : Unix.file_descr;
+  conn_id : int;
+  inbuf : Buffer.t;  (* bytes received, not yet framed into lines *)
+  out : Buffer.t;  (* response bytes not yet written *)
+  mutable out_off : int;  (* prefix of [out] already written *)
+  mutable closing : bool;  (* close once [out] is flushed *)
+  mutable dead : bool;  (* peer gone; remove at end of iteration *)
+}
+
+type t = {
+  config : config;
+  listen_fd : Unix.file_descr;
+  bound : address;
+  service : Service.t;
+  caches : caches;
+  outbox_m : Mutex.t;
+  outbox : (int * string) Queue.t;
+  wake_r : Unix.file_descr;
+  wake_w : Unix.file_descr;
+  draining : bool Atomic.t;
+  pending : int Atomic.t;
+  started_s : float;
+  mutable loop : unit Domain.t option;
+}
+
+let address t = t.bound
+
+(* Wake the event loop out of [select].  Safe from any domain and from
+   a signal handler; a full pipe already means a wake-up is pending. *)
+let wake t =
+  let b = Bytes.make 1 'w' in
+  match Unix.write t.wake_w b 0 1 with
+  | _ -> ()
+  | exception Unix.Unix_error ((EAGAIN | EWOULDBLOCK | EPIPE | EBADF), _, _)
+    ->
+      ()
+
+let stop t =
+  Atomic.set t.draining true;
+  wake t
+
+(* --- job execution (pool workers) -------------------------------------- *)
+
+(* A typed mid-job failure: carries the protocol error for the
+   response instead of a 500. *)
+exception Fail of Protocol.error
+
+let error_of_exn = function
+  | Fail e -> e
+  | Unix.Unix_error (Unix.ENOENT, _, path) ->
+      Protocol.err_not_found (path ^ ": no such file")
+  | Unix.Unix_error (e, fn, arg) ->
+      Protocol.err_internal (fn ^ "(" ^ arg ^ "): " ^ Unix.error_message e)
+  | Sys_error msg -> Protocol.err_not_found msg
+  | Tdat_pkt.Pcap.Decode_error msg -> Protocol.err_bad_request msg
+  | Tdat_bgp.Bgp_error.Decode_error { context; message } ->
+      Protocol.err_bad_request (context ^ ": " ^ message)
+  | e -> Protocol.err_internal (Printexc.to_string e)
+
+let ingest_follow (f : Protocol.follow) =
+  Tdat_pkt.Ingest_io.follow_idle ~limit_s:f.limit_s ~idle_s:f.idle_s ()
+
+(* Cached when the file is at rest; a tailed ([follow]) read bypasses
+   the cache — the file is growing under us, so the snapshot is
+   one-shot by definition. *)
+let load_pcap t ~follow path =
+  match follow with
+  | None ->
+      Cache.find_or_load t.caches.pcap path ~load:(fun p ->
+          Tdat_pkt.Pcap.read_file p)
+  | Some f ->
+      let diags = ref [] in
+      let segs, stats =
+        Tdat_pkt.Pcap.fold_file
+          ~on_diag:(fun d -> diags := d :: !diags)
+          ~follow:(ingest_follow f) path ~init:[]
+          (fun acc s -> s :: acc)
+      in
+      ( {
+          Tdat_pkt.Pcap.trace = Tdat_pkt.Trace.of_segments (List.rev segs);
+          diags = List.rev !diags;
+          stats;
+        },
+        false )
+
+let load_mrt t ~follow path =
+  match follow with
+  | None ->
+      Cache.find_or_load t.caches.mrt path ~load:(fun p ->
+          Tdat_bgp.Mrt.read_file p)
+  | Some f ->
+      let diags = ref [] in
+      let entries, stats =
+        Tdat_bgp.Mrt.fold_file
+          ~on_diag:(fun d -> diags := d :: !diags)
+          ~follow:(ingest_follow f) path ~init:[]
+          (fun acc e -> e :: acc)
+      in
+      ( {
+          Tdat_bgp.Mrt.entries = List.rev entries;
+          diags = List.rev !diags;
+          stats;
+        },
+        false )
+
+let fail_on_pcap_errors (r : Tdat_pkt.Pcap.result) =
+  match List.find_opt Tdat_pkt.Pcap.Diag.is_error r.diags with
+  | Some d -> raise (Fail (Protocol.err_bad_request d.Tdat_pkt.Pcap.Diag.message))
+  | None -> ()
+
+let num_int n = Json.Num (float_of_int n)
+
+let pcap_salvage (s : Tdat_pkt.Pcap.stats) =
+  Json.Obj
+    [
+      ("records", num_int s.records);
+      ("decoded", num_int s.decoded);
+      ("skipped", num_int s.skipped);
+      ("clipped", num_int s.clipped);
+    ]
+
+let series_config ~sender_side =
+  if sender_side then
+    { Tdat.Series_gen.default_config with sniffer_location = `Near_sender }
+  else Tdat.Series_gen.default_config
+
+let execute_analyze t ~path ~series ~sender_side ~follow =
+  let r, cache_hit = load_pcap t ~follow path in
+  fail_on_pcap_errors r;
+  let results =
+    Tdat.Analyzer.analyze_all ~config:(series_config ~sender_side) ~jobs:1
+      r.Tdat_pkt.Pcap.trace
+  in
+  Json.Obj
+    [
+      ("output", Json.Str (Render.analysis ~series results));
+      ("connections", num_int (List.length results));
+      ("cache_hit", Json.Bool cache_hit);
+      ("salvage", pcap_salvage r.Tdat_pkt.Pcap.stats);
+    ]
+
+let execute_check t ~path =
+  let r, cache_hit = load_pcap t ~follow:None path in
+  let ingest = Tdat_audit.Ingest.of_result r in
+  let results =
+    Tdat.Analyzer.analyze_all
+      ~config:(series_config ~sender_side:false)
+      ~audit:true ~jobs:1 r.Tdat_pkt.Pcap.trace
+  in
+  let conn_findings =
+    List.fold_left
+      (fun n (_, a) -> n + List.length a.Tdat.Analyzer.audit)
+      0 results
+  in
+  let failed =
+    Tdat_audit.Diag.errors ingest <> []
+    || List.exists
+         (fun (_, a) -> Tdat_audit.Diag.errors a.Tdat.Analyzer.audit <> [])
+         results
+  in
+  Json.Obj
+    [
+      ("ok", Json.Bool (not failed));
+      ("capture_findings", num_int (List.length ingest));
+      ("connection_findings", num_int conn_findings);
+      ("connections", num_int (List.length results));
+      ("cache_hit", Json.Bool cache_hit);
+    ]
+
+let execute_study t ~paths ~gap_s ~min_prefixes ~slow_threshold_s ~follow =
+  let config =
+    {
+      Tdat_study.Detect.quiet_gap = Tdat_timerange.Time_us.of_s gap_s;
+      min_prefixes;
+    }
+  in
+  let hits = ref 0 and misses = ref 0 in
+  let reports =
+    List.map
+      (fun path ->
+        let mr, hit = load_mrt t ~follow path in
+        if hit then incr hits else incr misses;
+        let fr =
+          Tdat_study.Archive.scan_entries ~config ~source:path
+            mr.Tdat_bgp.Mrt.entries
+        in
+        {
+          fr with
+          Tdat_study.Archive.diags = mr.Tdat_bgp.Mrt.diags;
+          stats = mr.Tdat_bgp.Mrt.stats;
+        })
+      paths
+  in
+  let report = Tdat_study.Aggregate.of_reports ?slow_threshold_s reports in
+  let report_json =
+    match Json.parse (Tdat_study.Report.to_json report) with
+    | Ok j -> j
+    | Error msg -> raise (Fail (Protocol.err_internal ("report json: " ^ msg)))
+  in
+  Json.Obj
+    [
+      ("report", report_json);
+      ("cache_hits", num_int !hits);
+      ("cache_misses", num_int !misses);
+    ]
+
+let execute t (req : Protocol.request) =
+  match req with
+  | Protocol.Sleep { ms } ->
+      Unix.sleepf (ms /. 1000.);
+      Json.Obj [ ("slept_ms", Json.Num ms) ]
+  | Protocol.Analyze { path; series; sender_side; follow } ->
+      execute_analyze t ~path ~series ~sender_side ~follow
+  | Protocol.Check { path } -> execute_check t ~path
+  | Protocol.Study { paths; gap_s; min_prefixes; slow_threshold_s; follow } ->
+      execute_study t ~paths ~gap_s ~min_prefixes ~slow_threshold_s ~follow
+  | Protocol.Ping | Protocol.Stats | Protocol.Shutdown ->
+      (* Control verbs never reach the queue ([Protocol.is_job]). *)
+      raise (Fail (Protocol.err_internal "control verb submitted as job"))
+
+let push_outbox t conn_id line =
+  Mutex.lock t.outbox_m;
+  Queue.push (conn_id, line) t.outbox;
+  Mutex.unlock t.outbox_m
+
+(* Runs on a pool worker.  The response must reach the outbox BEFORE
+   [pending] is decremented: the drain check exits only at
+   [pending = 0 && outbox empty && output buffers flushed], so this
+   order guarantees no accepted job's response is dropped. *)
+let run_job t conn_id id req =
+  let instrumented = Obs.enabled Obs.default in
+  let started_us = if instrumented then Tdat_obs.Clock.now_us () else 0. in
+  Obs.Counter.incr m_requests;
+  let line =
+    match execute t req with
+    | result -> Protocol.response_ok ~id ~cmd:(Protocol.cmd_name req) result
+    | exception e ->
+        Obs.Counter.incr m_errors;
+        Protocol.response_error ~id (error_of_exn e)
+  in
+  if instrumented then
+    Obs.Histogram.observe m_request_us (Tdat_obs.Clock.now_us () -. started_us);
+  push_outbox t conn_id line;
+  Atomic.decr t.pending;
+  wake t
+
+(* --- the event loop ----------------------------------------------------- *)
+
+let enqueue_conn conn line =
+  Buffer.add_string conn.out line;
+  Buffer.add_char conn.out '\n'
+
+let cache_stats_json (s : Cache.stats) =
+  Json.Obj
+    [
+      ("entries", num_int s.entries);
+      ("hits", num_int s.hits);
+      ("misses", num_int s.misses);
+    ]
+
+let stats_json t conns =
+  Json.Obj
+    [
+      ("uptime_s", Json.Num (Unix.gettimeofday () -. t.started_s));
+      ("jobs", num_int (Service.jobs t.service));
+      ("queue_capacity", num_int (Service.capacity t.service));
+      ("queue_depth", num_int (Service.depth t.service));
+      ("in_flight", num_int (Service.in_flight t.service));
+      ("pending", num_int (Atomic.get t.pending));
+      ("connections", num_int (Hashtbl.length conns));
+      ("draining", Json.Bool (Atomic.get t.draining));
+      ( "cache",
+        Json.Obj
+          [
+            ("pcap", cache_stats_json (Cache.stats t.caches.pcap));
+            ("mrt", cache_stats_json (Cache.stats t.caches.mrt));
+          ] );
+    ]
+
+let handle_line t conns conn line =
+  let { Protocol.id; request } = Protocol.parse_line line in
+  match request with
+  | Error e -> enqueue_conn conn (Protocol.response_error ~id e)
+  | Ok Protocol.Ping ->
+      enqueue_conn conn
+        (Protocol.response_ok ~id ~cmd:"ping"
+           (Json.Obj [ ("pong", Json.Bool true) ]))
+  | Ok Protocol.Stats ->
+      enqueue_conn conn
+        (Protocol.response_ok ~id ~cmd:"stats" (stats_json t conns))
+  | Ok Protocol.Shutdown ->
+      enqueue_conn conn
+        (Protocol.response_ok ~id ~cmd:"shutdown"
+           (Json.Obj [ ("draining", Json.Bool true) ]));
+      Atomic.set t.draining true
+  | Ok req ->
+      if Atomic.get t.draining then
+        enqueue_conn conn (Protocol.response_error ~id Protocol.err_draining)
+      else begin
+        Atomic.incr t.pending;
+        match
+          Service.submit t.service (fun () -> run_job t conn.conn_id id req)
+        with
+        | Service.Accepted -> ()
+        | Service.Rejected_full ->
+            Atomic.decr t.pending;
+            enqueue_conn conn (Protocol.response_error ~id Protocol.err_busy)
+        | Service.Rejected_draining ->
+            Atomic.decr t.pending;
+            enqueue_conn conn
+              (Protocol.response_error ~id Protocol.err_draining)
+      end
+
+(* Frame [conn.inbuf] into complete lines and handle each.  The
+   leftover partial line stays buffered; a partial line longer than
+   [max_line_bytes] is answered with a 400 and the connection is
+   closed (a stuck client must not grow the buffer forever). *)
+let conn_lines t conns conn =
+  let data = Buffer.contents conn.inbuf in
+  let len = String.length data in
+  let start = ref 0 in
+  (try
+     while !start < len do
+       let nl = String.index_from data !start '\n' in
+       let stop =
+         if nl > !start && data.[nl - 1] = '\r' then nl - 1 else nl
+       in
+       if stop > !start then
+         handle_line t conns conn (String.sub data !start (stop - !start));
+       start := nl + 1
+     done
+   with Not_found -> ());
+  if !start > 0 then begin
+    Buffer.clear conn.inbuf;
+    Buffer.add_substring conn.inbuf data !start (len - !start)
+  end;
+  if Buffer.length conn.inbuf > t.config.max_line_bytes then begin
+    enqueue_conn conn
+      (Protocol.response_error ~id:Json.Null
+         (Protocol.err_bad_request "request line too long"));
+    conn.closing <- true
+  end
+
+let handle_readable t conns conn chunk =
+  match Unix.read conn.fd chunk 0 (Bytes.length chunk) with
+  | 0 -> conn.dead <- true
+  | n ->
+      Buffer.add_subbytes conn.inbuf chunk 0 n;
+      conn_lines t conns conn
+  | exception Unix.Unix_error ((EAGAIN | EWOULDBLOCK | EINTR), _, _) -> ()
+  | exception Unix.Unix_error ((ECONNRESET | EPIPE), _, _) ->
+      conn.dead <- true
+
+let flush_conn conn =
+  let total = Buffer.length conn.out in
+  if total > conn.out_off then begin
+    match
+      Unix.write_substring conn.fd (Buffer.contents conn.out) conn.out_off
+        (total - conn.out_off)
+    with
+    | n ->
+        conn.out_off <- conn.out_off + n;
+        if conn.out_off >= Buffer.length conn.out then begin
+          Buffer.clear conn.out;
+          conn.out_off <- 0
+        end
+    | exception Unix.Unix_error ((EAGAIN | EWOULDBLOCK | EINTR), _, _) -> ()
+    | exception Unix.Unix_error ((EPIPE | ECONNRESET | EBADF), _, _) ->
+        conn.dead <- true
+  end
+
+(* Route finished jobs' responses to their connections.  A response for
+   a connection that hung up is dropped — the work still counted. *)
+let drain_outbox t conns =
+  Mutex.lock t.outbox_m;
+  while not (Queue.is_empty t.outbox) do
+    let conn_id, line = Queue.pop t.outbox in
+    match Hashtbl.find_opt conns conn_id with
+    | Some conn when not conn.dead -> enqueue_conn conn line
+    | Some _ | None -> ()
+  done;
+  Mutex.unlock t.outbox_m
+
+let accept_loop t conns next_id =
+  let continue = ref true in
+  while !continue do
+    match Unix.accept ~cloexec:true t.listen_fd with
+    | fd, _ ->
+        Unix.set_nonblock fd;
+        let conn_id = !next_id in
+        incr next_id;
+        Hashtbl.replace conns conn_id
+          {
+            fd;
+            conn_id;
+            inbuf = Buffer.create 256;
+            out = Buffer.create 256;
+            out_off = 0;
+            closing = false;
+            dead = false;
+          }
+    | exception Unix.Unix_error ((EAGAIN | EWOULDBLOCK | EINTR), _, _) ->
+        continue := false
+    | exception Unix.Unix_error (_, _, _) -> continue := false
+  done
+
+let close_quietly fd = try Unix.close fd with Unix.Unix_error (_, _, _) -> ()
+
+let reap conns =
+  let victims =
+    Hashtbl.fold
+      (fun conn_id conn acc ->
+        if
+          conn.dead
+          || (conn.closing && Buffer.length conn.out = conn.out_off)
+        then (conn_id, conn) :: acc
+        else acc)
+      conns []
+  in
+  List.iter
+    (fun (conn_id, conn) ->
+      close_quietly conn.fd;
+      Hashtbl.remove conns conn_id)
+    victims
+
+let event_loop t =
+  let conns : (int, conn) Hashtbl.t = Hashtbl.create 16 in
+  let next_id = ref 1 in
+  let chunk = Bytes.create 65536 in
+  let wake_buf = Bytes.create 256 in
+  let running = ref true in
+  while !running do
+    drain_outbox t conns;
+    reap conns;
+    let draining = Atomic.get t.draining in
+    if
+      draining
+      && Atomic.get t.pending = 0
+      && Queue.is_empty t.outbox
+      && Hashtbl.fold
+           (fun _ c acc -> acc && Buffer.length c.out = c.out_off)
+           conns true
+    then running := false
+    else begin
+      let readfds =
+        Hashtbl.fold
+          (fun _ c acc -> c.fd :: acc)
+          conns
+          (if draining then [ t.wake_r ] else [ t.wake_r; t.listen_fd ])
+      in
+      let writefds =
+        Hashtbl.fold
+          (fun _ c acc ->
+            if Buffer.length c.out > c.out_off then c.fd :: acc else acc)
+          conns []
+      in
+      match Unix.select readfds writefds [] 0.2 with
+      | exception Unix.Unix_error (EINTR, _, _) -> ()
+      | readable, writable, _ ->
+          if List.memq t.wake_r readable then begin
+            match Unix.read t.wake_r wake_buf 0 (Bytes.length wake_buf) with
+            | _ -> ()
+            | exception Unix.Unix_error (_, _, _) -> ()
+          end;
+          if (not draining) && List.memq t.listen_fd readable then
+            accept_loop t conns next_id;
+          Hashtbl.iter
+            (fun _ conn ->
+              if (not conn.dead) && List.memq conn.fd readable then
+                handle_readable t conns conn chunk)
+            conns;
+          Hashtbl.iter
+            (fun _ conn ->
+              if (not conn.dead) && List.memq conn.fd writable then
+                flush_conn conn)
+            conns
+    end
+  done;
+  (* Drain complete: every accepted job answered and flushed. *)
+  Service.drain t.service;
+  Hashtbl.iter (fun _ conn -> close_quietly conn.fd) conns;
+  close_quietly t.listen_fd;
+  close_quietly t.wake_r;
+  close_quietly t.wake_w;
+  (match t.bound with
+  | `Unix path -> ( try Unix.unlink path with Unix.Unix_error (_, _, _) -> ())
+  | `Tcp _ -> ());
+  Log.info (fun m -> m "serve: drained and stopped")
+
+(* --- lifecycle ---------------------------------------------------------- *)
+
+let resolve_host host =
+  match Unix.inet_addr_of_string host with
+  | addr -> addr
+  | exception Failure _ -> (
+      match Unix.gethostbyname host with
+      | { Unix.h_addr_list = addrs; _ } when Array.length addrs > 0 ->
+          addrs.(0)
+      | _ | (exception Not_found) ->
+          invalid_arg ("serve: cannot resolve host " ^ host))
+
+let bind_listener = function
+  | `Unix path ->
+      let fd = Unix.socket ~cloexec:true Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+      (try
+         if Sys.file_exists path then Unix.unlink path;
+         Unix.bind fd (Unix.ADDR_UNIX path)
+       with e ->
+         close_quietly fd;
+         raise e);
+      Unix.listen fd 64;
+      Unix.set_nonblock fd;
+      (fd, `Unix path)
+  | `Tcp (host, port) ->
+      let fd = Unix.socket ~cloexec:true Unix.PF_INET Unix.SOCK_STREAM 0 in
+      (try
+         Unix.setsockopt fd Unix.SO_REUSEADDR true;
+         Unix.bind fd (Unix.ADDR_INET (resolve_host host, port))
+       with e ->
+         close_quietly fd;
+         raise e);
+      Unix.listen fd 64;
+      Unix.set_nonblock fd;
+      let bound_port =
+        match Unix.getsockname fd with
+        | Unix.ADDR_INET (_, p) -> p
+        | Unix.ADDR_UNIX _ -> port
+      in
+      (fd, `Tcp (host, bound_port))
+
+let start config =
+  if config.jobs < 1 then invalid_arg "Server.start: jobs must be >= 1";
+  let listen_fd, bound = bind_listener config.address in
+  let wake_r, wake_w = Unix.pipe ~cloexec:true () in
+  Unix.set_nonblock wake_r;
+  Unix.set_nonblock wake_w;
+  let t =
+    {
+      config;
+      listen_fd;
+      bound;
+      service =
+        Service.create ~jobs:config.jobs ~capacity:config.queue_capacity ();
+      caches =
+        {
+          pcap = Cache.create ~capacity:config.cache_capacity;
+          mrt = Cache.create ~capacity:config.cache_capacity;
+        };
+      outbox_m = Mutex.create ();
+      outbox = Queue.create ();
+      wake_r;
+      wake_w;
+      draining = Atomic.make false;
+      pending = Atomic.make 0;
+      started_s = Unix.gettimeofday ();
+      loop = None;
+    }
+  in
+  t.loop <- Some (Domain.spawn (fun () -> event_loop t));
+  (match bound with
+  | `Unix path -> Log.info (fun m -> m "serve: listening on %s" path)
+  | `Tcp (host, port) ->
+      Log.info (fun m -> m "serve: listening on %s:%d" host port));
+  t
+
+let wait t =
+  match t.loop with
+  | Some d ->
+      t.loop <- None;
+      Domain.join d
+  | None -> ()
+
+let run config =
+  let t = start config in
+  let drain_signal = Sys.Signal_handle (fun _ -> stop t) in
+  let prev_term = Sys.signal Sys.sigterm drain_signal in
+  let prev_int = Sys.signal Sys.sigint drain_signal in
+  Fun.protect
+    ~finally:(fun () ->
+      Sys.set_signal Sys.sigterm prev_term;
+      Sys.set_signal Sys.sigint prev_int)
+    (fun () -> wait t)

@@ -1,0 +1,45 @@
+(** The [tdat serve] daemon: a line-delimited JSON protocol (see
+    {!Protocol}) over a Unix-domain or TCP socket, analysis verbs
+    executed on a {!Tdat_parallel.Service} worker pool behind a bounded
+    admission queue, decoded inputs cached per {!Cache}.  See
+    DESIGN.md, "Service architecture". *)
+
+type address = [ `Unix of string | `Tcp of string * int ]
+(** [`Tcp (host, 0)] binds an ephemeral port; {!address} reports the
+    one actually bound. *)
+
+type config = {
+  address : address;
+  jobs : int;  (** Worker domains in the pool. *)
+  queue_capacity : int;  (** Admission-queue bound (429 beyond it). *)
+  cache_capacity : int;  (** Decoded captures/archives kept per kind. *)
+  max_line_bytes : int;  (** Requests longer than this close the conn. *)
+}
+
+val default_config : config
+(** Loopback TCP on an ephemeral port, [Pool.default_jobs] workers,
+    queue of 64, 16 cached inputs per kind, 1 MiB line limit. *)
+
+type t
+
+val start : config -> t
+(** Bind, spawn the event-loop domain, return immediately.
+    @raise Invalid_argument on [jobs < 1] or an unresolvable host;
+    @raise Unix.Unix_error when the address cannot be bound. *)
+
+val address : t -> address
+(** The address actually bound (resolves an ephemeral TCP port). *)
+
+val stop : t -> unit
+(** Begin the graceful drain: stop accepting connections and jobs
+    (new jobs answer 503), run every accepted job to completion, flush
+    every response, then shut the pool down.  Returns immediately;
+    {!wait} observes completion.  Safe from any domain and from a
+    signal handler; idempotent. *)
+
+val wait : t -> unit
+(** Join the event loop (blocks until a drain completes). *)
+
+val run : config -> unit
+(** [start], install SIGTERM/SIGINT handlers that {!stop}, and
+    {!wait} — the CLI entry point. *)

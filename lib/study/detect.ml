@@ -116,7 +116,10 @@ let update t p ts ~nlri =
         let last_activity =
           match c.c_last with Some l -> l | None -> c.c_start
         in
-        if Time_us.(ts - last_activity) > t.config.quiet_gap then begin
+        (* Inclusive boundary: a silence of exactly [quiet_gap] already
+           splits — DESIGN.md specifies "gaps of 200 s or more" end a
+           transfer. *)
+        if Time_us.(ts - last_activity) >= t.config.quiet_gap then begin
           close t p;
           let c = fresh () in
           p.p_open <- Some c;

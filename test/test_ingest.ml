@@ -377,6 +377,115 @@ let test_clipped_scenario_equivalence () =
 let prop name arb f =
   QCheck_alcotest.to_alcotest (QCheck.Test.make ~name ~count:100 arb f)
 
+(* --- stream-source robustness (Ingest_io) ------------------------------ *)
+
+let scenario_capture ~seed ~prefixes =
+  let result =
+    Scenario.run ~seed [ Scenario.router ~table_prefixes:prefixes 1 ]
+  in
+  Pcap.encode result.Scenario.site_trace
+
+let fold_segments fold = fold ~init:[] (fun acc s -> s :: acc)
+
+let check_same_capture label data (got, (gstats : Pcap.stats)) =
+  let expected, (estats : Pcap.stats) =
+    fold_segments (fun ~init f -> Pcap.fold_string data ~init f)
+  in
+  Alcotest.(check string)
+    (label ^ ": identical segments")
+    (Pcap.encode (Trace.of_segments (List.rev expected)))
+    (Pcap.encode (Trace.of_segments (List.rev got)));
+  Alcotest.(check (list int))
+    (label ^ ": identical stats")
+    [ estats.Pcap.records; estats.Pcap.decoded; estats.Pcap.skipped ]
+    [ gstats.Pcap.records; gstats.Pcap.decoded; gstats.Pcap.skipped ]
+
+let test_pipe_fed_stream () =
+  (* A pipe delivers short reads at arbitrary boundaries: the fold must
+     reassemble every record exactly as the in-memory decoder does. *)
+  let data = scenario_capture ~seed:61 ~prefixes:900 in
+  let r, w = Unix.pipe ~cloexec:true () in
+  let writer =
+    Domain.spawn (fun () ->
+        let b = Bytes.of_string data in
+        let len = Bytes.length b in
+        let pos = ref 0 in
+        (* Deliberately awkward chunk sizes, unaligned with the pcap
+           24/16-byte headers, so records always straddle reads. *)
+        while !pos < len do
+          let n = min 97 (len - !pos) in
+          let written = Unix.write w b !pos n in
+          pos := !pos + written
+        done;
+        Unix.close w)
+  in
+  let got = fold_segments (fun ~init f -> Pcap.fold_fd r ~init f) in
+  Domain.join writer;
+  Unix.close r;
+  check_same_capture "pipe-fed" data got
+
+let test_eintr_retry () =
+  (* A source that raises EINTR on every third call and otherwise
+     trickles 61-byte short reads: the wrapped reader must deliver the
+     whole capture without truncation or a spurious EOF. *)
+  let data = scenario_capture ~seed:62 ~prefixes:400 in
+  let interrupted () =
+    let pos = ref 0 and calls = ref 0 in
+    fun buf off len ->
+      incr calls;
+      if !calls mod 3 = 0 then
+        raise (Unix.Unix_error (Unix.EINTR, "read", ""));
+      let n = min len (min 61 (String.length data - !pos)) in
+      Bytes.blit_string data !pos buf off n;
+      pos := !pos + n;
+      n
+  in
+  let got =
+    fold_segments (fun ~init f ->
+        Pcap.fold_read ~read:(Ingest_io.of_read (interrupted ())) ~init f)
+  in
+  check_same_capture "EINTR-riddled" data got;
+  (* The channel flavor of the same interruption ([Sys_error]). *)
+  let sys_interrupted () =
+    let pos = ref 0 and calls = ref 0 in
+    fun buf off len ->
+      incr calls;
+      if !calls mod 3 = 0 then raise (Sys_error "Interrupted system call");
+      let n = min len (min 61 (String.length data - !pos)) in
+      Bytes.blit_string data !pos buf off n;
+      pos := !pos + n;
+      n
+  in
+  let got =
+    fold_segments (fun ~init f ->
+        Pcap.fold_read ~read:(Ingest_io.of_read (sys_interrupted ())) ~init f)
+  in
+  check_same_capture "Sys_error EINTR" data got
+
+let test_follow_tailed_file () =
+  (* Tail a file that is still being written: cut mid-record, append
+     the rest while the fold is already polling, and require the full
+     capture.  [follow_idle] ends the tail 0.3 s after growth stops. *)
+  let data = scenario_capture ~seed:63 ~prefixes:400 in
+  let path = Filename.temp_file "tdat_tail" ".pcap" in
+  let cut = String.length data / 2 in
+  Out_channel.with_open_bin path (fun oc ->
+      Out_channel.output_string oc (String.sub data 0 cut));
+  let writer =
+    Domain.spawn (fun () ->
+        Unix.sleepf 0.1;
+        let oc = open_out_gen [ Open_append; Open_binary ] 0o600 path in
+        output_string oc (String.sub data cut (String.length data - cut));
+        close_out oc)
+  in
+  let follow = Ingest_io.follow_idle ~limit_s:30. ~idle_s:0.3 () in
+  let got =
+    fold_segments (fun ~init f -> Pcap.fold_file ~follow path ~init f)
+  in
+  Domain.join writer;
+  check_same_capture "tailed" data got;
+  Sys.remove path
+
 let arb_trace = QCheck.list_of_size (QCheck.Gen.int_range 0 20) Test_pkt.arb_segment
 
 let qcheck_suite =
@@ -422,5 +531,8 @@ let suite =
     Alcotest.test_case "audit ingest lifting" `Quick test_audit_ingest_lifting;
     Alcotest.test_case "clipped scenario equivalence" `Slow
       test_clipped_scenario_equivalence;
+    Alcotest.test_case "pipe-fed stream" `Quick test_pipe_fed_stream;
+    Alcotest.test_case "EINTR retry" `Quick test_eintr_retry;
+    Alcotest.test_case "tailed growing file" `Quick test_follow_tailed_file;
   ]
   @ qcheck_suite

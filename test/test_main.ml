@@ -18,6 +18,7 @@ let () =
       ("audit", Test_audit.suite);
       ("lint", Test_lint.suite);
       ("study", Test_study.suite);
+      ("serve", Test_serve.suite);
       ("obs", Test_obs.suite);
       ("misc", Test_misc.suite);
     ]

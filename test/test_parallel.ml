@@ -96,6 +96,153 @@ let test_default_jobs_sane () =
   Pool.with_pool (fun pool ->
       Alcotest.(check int) "pool takes the default" d (Pool.jobs pool))
 
+(* --- Scratch: reentrancy fallback and geometric growth ------------------ *)
+
+let with_metrics f =
+  let reg = Tdat_obs.Metrics.default in
+  let was = Tdat_obs.Metrics.enabled reg in
+  Tdat_obs.Metrics.set_enabled reg true;
+  Fun.protect
+    ~finally:(fun () -> Tdat_obs.Metrics.set_enabled reg was)
+    f
+
+let fallbacks () =
+  match
+    Tdat_obs.Metrics.find_counter Tdat_obs.Metrics.default
+      "scratch.fallbacks"
+  with
+  | Some c -> Tdat_obs.Metrics.Counter.value c
+  | None -> Alcotest.fail "scratch.fallbacks counter not registered"
+
+let test_scratch_reentrant_fallback () =
+  with_metrics @@ fun () ->
+  let before = fallbacks () in
+  Scratch.with_bytes ~slot:0 64 (fun outer ->
+      let outer_buf = outer.Scratch.buf in
+      Scratch.with_bytes ~slot:0 64 (fun inner ->
+          (* The nested checkout of a busy slot must get its own
+             transient buffer, never alias the outer one. *)
+          Alcotest.(check bool)
+            "fallback buffer is distinct" false
+            (inner.Scratch.buf == outer_buf);
+          Bytes.fill inner.Scratch.buf 0 64 'x');
+      Alcotest.(check bool)
+        "outer buffer untouched by fallback" false
+        (Bytes.sub_string outer_buf 0 64 = String.make 64 'x'));
+  Alcotest.(check bool)
+    "reentrant checkout was counted" true
+    (fallbacks () > before);
+  (* Same accounting for the int-array flavor. *)
+  let before = fallbacks () in
+  Scratch.with_ints ~slot:0 8 (fun _outer ->
+      Scratch.with_ints ~slot:0 8 (fun inner -> inner.(0) <- 1));
+  Alcotest.(check bool)
+    "with_ints fallback counted" true
+    (fallbacks () > before)
+
+let test_scratch_geometric_growth () =
+  (* Growing a kept buffer byte-by-byte must reallocate O(log n)
+     times, not once per request. *)
+  Scratch.with_bytes ~slot:2 16 (fun cell ->
+      let copies = ref 0 in
+      let last = ref (Bytes.length cell.Scratch.buf) in
+      for n = 1 to 100_000 do
+        let b = Scratch.ensure_keep cell n in
+        if Bytes.length b <> !last then begin
+          incr copies;
+          Alcotest.(check bool)
+            "each growth at least doubles" true
+            (Bytes.length b >= 2 * !last);
+          last := Bytes.length b
+        end
+      done;
+      Alcotest.(check bool)
+        (Printf.sprintf "O(log n) reallocations (saw %d)" !copies)
+        true (!copies <= 20));
+  (* Contents survive the growth. *)
+  Scratch.with_bytes ~slot:2 4 (fun cell ->
+      Bytes.blit_string "abcd" 0 cell.Scratch.buf 0 4;
+      let grown = Scratch.ensure_keep cell 1_000 in
+      Alcotest.(check string)
+        "prefix preserved" "abcd"
+        (Bytes.sub_string grown 0 4))
+
+(* --- Service: the bounded admission queue ------------------------------- *)
+
+let test_service_runs_everything () =
+  let s = Service.create ~jobs:2 ~capacity:64 () in
+  let count = Atomic.make 0 in
+  for _ = 1 to 50 do
+    match Service.submit s (fun () -> Atomic.incr count) with
+    | Service.Accepted -> ()
+    | Service.Rejected_full | Service.Rejected_draining ->
+        Alcotest.fail "submission rejected below capacity"
+  done;
+  Service.drain s;
+  Alcotest.(check int) "every accepted job ran" 50 (Atomic.get count)
+
+let test_service_backpressure_and_drain () =
+  let s = Service.create ~jobs:1 ~capacity:1 () in
+  let gate_m = Mutex.create () in
+  let gate_c = Condition.create () in
+  let released = ref false in
+  let started = Atomic.make false in
+  let ran = Atomic.make 0 in
+  let blocking () =
+    Atomic.set started true;
+    Mutex.lock gate_m;
+    while not !released do
+      Condition.wait gate_c gate_m
+    done;
+    Mutex.unlock gate_m;
+    Atomic.incr ran
+  in
+  (match Service.submit s blocking with
+  | Service.Accepted -> ()
+  | _ -> Alcotest.fail "job 1 not accepted");
+  (* Wait until job 1 occupies the worker, so the queue is empty. *)
+  let rec spin n =
+    if not (Atomic.get started) then
+      if n = 0 then Alcotest.fail "job 1 never started"
+      else begin
+        Unix.sleepf 0.005;
+        spin (n - 1)
+      end
+  in
+  spin 1_000;
+  (match Service.submit s (fun () -> Atomic.incr ran) with
+  | Service.Accepted -> ()
+  | _ -> Alcotest.fail "job 2 should fill the queue");
+  Alcotest.(check int) "queue full" 1 (Service.depth s);
+  (match Service.submit s (fun () -> Atomic.incr ran) with
+  | Service.Rejected_full -> ()
+  | Service.Accepted | Service.Rejected_draining ->
+      Alcotest.fail "job 3 must be rejected while the queue is full");
+  (* Release the worker and drain: both accepted jobs must finish. *)
+  Mutex.lock gate_m;
+  released := true;
+  Condition.broadcast gate_c;
+  Mutex.unlock gate_m;
+  Service.drain s;
+  Alcotest.(check int) "accepted jobs all ran" 2 (Atomic.get ran);
+  match Service.submit s (fun () -> ()) with
+  | Service.Rejected_draining -> ()
+  | Service.Accepted | Service.Rejected_full ->
+      Alcotest.fail "post-drain submission must be rejected"
+
+let test_service_job_exception_contained () =
+  let s = Service.create ~jobs:2 ~capacity:8 () in
+  let ran = Atomic.make 0 in
+  (match Service.submit s (fun () -> failwith "job blew up") with
+  | Service.Accepted -> ()
+  | _ -> Alcotest.fail "not accepted");
+  (match Service.submit s (fun () -> Atomic.incr ran) with
+  | Service.Accepted -> ()
+  | _ -> Alcotest.fail "not accepted");
+  Service.drain s;
+  Alcotest.(check int) "exception did not poison the batch" 1
+    (Atomic.get ran)
+
 let suite =
   [
     Alcotest.test_case "map matches sequential" `Quick
@@ -111,4 +258,14 @@ let suite =
     Alcotest.test_case "invalid jobs / shutdown" `Quick
       test_invalid_jobs_and_shutdown;
     Alcotest.test_case "default jobs" `Quick test_default_jobs_sane;
+    Alcotest.test_case "scratch reentrant fallback counted" `Quick
+      test_scratch_reentrant_fallback;
+    Alcotest.test_case "scratch geometric growth" `Quick
+      test_scratch_geometric_growth;
+    Alcotest.test_case "service runs all accepted jobs" `Quick
+      test_service_runs_everything;
+    Alcotest.test_case "service backpressure and drain" `Quick
+      test_service_backpressure_and_drain;
+    Alcotest.test_case "service contains job exceptions" `Quick
+      test_service_job_exception_contained;
   ]

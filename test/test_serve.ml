@@ -1,0 +1,536 @@
+(* The serve daemon, end to end over real sockets: JSON codec, protocol
+   parsing (malformed input comes back as typed errors, never a dead
+   connection), cache hit/miss correctness under file replacement,
+   queue-full backpressure (429), tailing a still-growing capture, and
+   graceful drain — in-process via the shutdown verb and out-of-process
+   via SIGTERM on a spawned `tdat serve`. *)
+
+module Json = Tdat_serve.Json
+module Protocol = Tdat_serve.Protocol
+module Server = Tdat_serve.Server
+module Client = Tdat_serve.Client
+module Scenario = Tdat_bgpsim.Scenario
+
+let bin_exe name =
+  Filename.concat
+    (Filename.dirname Sys.executable_name)
+    (Filename.concat Filename.parent_dir_name (Filename.concat "bin" name))
+
+let tdat_exe = bin_exe "tdat_cli.exe"
+
+let tmpdir () =
+  let f = Filename.temp_file "tdat_serve" "" in
+  Sys.remove f;
+  Sys.mkdir f 0o700;
+  f
+
+(* --- JSON codec -------------------------------------------------------- *)
+
+let test_json_roundtrip () =
+  let cases =
+    [
+      "null";
+      "true";
+      "[1,2.5,-3,\"x\"]";
+      "{\"a\":1,\"b\":[{\"c\":null}],\"s\":\"hi\"}";
+      "\"quote \\\" backslash \\\\ newline \\n tab \\t\"";
+      "{}";
+      "[]";
+    ]
+  in
+  List.iter
+    (fun src ->
+      match Json.parse src with
+      | Error msg -> Alcotest.failf "parse %s: %s" src msg
+      | Ok j -> (
+          (* Emit, reparse: must be a fixpoint. *)
+          let emitted = Json.to_string j in
+          match Json.parse emitted with
+          | Error msg -> Alcotest.failf "reparse %s: %s" emitted msg
+          | Ok j2 ->
+              Alcotest.(check string)
+                ("fixpoint of " ^ src) emitted (Json.to_string j2)))
+    cases
+
+let test_json_escapes () =
+  (* Control characters and non-ASCII survive a round trip. *)
+  let s = "a\nb\tc\r\x01d\xe2\x82\xac" in
+  let emitted = Json.to_string (Json.Str s) in
+  (match Json.parse emitted with
+  | Ok (Json.Str s2) -> Alcotest.(check string) "escape roundtrip" s s2
+  | Ok _ | Error _ -> Alcotest.fail "escape roundtrip reparse");
+  (* Surrogate pair decodes to UTF-8. *)
+  match Json.parse "\"\\ud83d\\ude00\"" with
+  | Ok (Json.Str s) ->
+      Alcotest.(check string) "surrogate pair" "\xf0\x9f\x98\x80" s
+  | Ok _ | Error _ -> Alcotest.fail "surrogate pair"
+
+let test_json_malformed () =
+  List.iter
+    (fun src ->
+      match Json.parse src with
+      | Ok _ -> Alcotest.failf "accepted malformed %S" src
+      | Error _ -> ())
+    [
+      "";
+      "{";
+      "[1,]";
+      "{\"a\":}";
+      "nul";
+      "\"unterminated";
+      "1 2" (* trailing garbage *);
+      "{\"a\" 1}";
+      "\"bad escape \\q\"";
+      "01" (* leading zero *);
+    ]
+
+let test_json_numbers () =
+  (match Json.parse "42" with
+  | Ok (Json.Num n) ->
+      Alcotest.(check (float 0.)) "int" 42. n;
+      Alcotest.(check string) "int emits bare" "42" (Json.to_string (Json.Num n))
+  | Ok _ | Error _ -> Alcotest.fail "42");
+  match Json.parse "-1.5e2" with
+  | Ok (Json.Num n) -> Alcotest.(check (float 1e-9)) "sci" (-150.) n
+  | Ok _ | Error _ -> Alcotest.fail "-1.5e2"
+
+(* --- protocol parsing --------------------------------------------------- *)
+
+let request_error line =
+  match (Protocol.parse_line line).Protocol.request with
+  | Error e -> e
+  | Ok _ -> Alcotest.failf "accepted %S" line
+
+let test_protocol_malformed () =
+  let e = request_error "{nope" in
+  Alcotest.(check string) "bad json code" "bad_json" e.Protocol.code;
+  Alcotest.(check int) "bad json status" 400 e.Protocol.status;
+  let e = request_error "[1,2]" in
+  Alcotest.(check string) "non-object" "bad_request" e.Protocol.code;
+  let e = request_error "{\"cmd\":\"frobnicate\"}" in
+  Alcotest.(check string) "unknown cmd" "bad_request" e.Protocol.code;
+  let e = request_error "{\"cmd\":\"analyze\"}" in
+  Alcotest.(check string) "missing path" "bad_request" e.Protocol.code;
+  let e = request_error "{\"cmd\":\"study\",\"paths\":[]}" in
+  Alcotest.(check string) "empty paths" "bad_request" e.Protocol.code;
+  let e =
+    request_error "{\"cmd\":\"analyze\",\"path\":\"x\",\"follow_idle_s\":-1}"
+  in
+  Alcotest.(check string) "negative follow" "bad_request" e.Protocol.code
+
+let test_protocol_requests () =
+  (match Protocol.parse_line "{\"id\":7,\"cmd\":\"ping\"}" with
+  | { Protocol.id = Json.Num 7.; request = Ok Protocol.Ping } -> ()
+  | _ -> Alcotest.fail "ping with id");
+  (match
+     (Protocol.parse_line
+        "{\"cmd\":\"analyze\",\"path\":\"t.pcap\",\"series\":true,\
+         \"follow_idle_s\":0.5}")
+       .Protocol.request
+   with
+  | Ok
+      (Protocol.Analyze
+        {
+          path = "t.pcap";
+          series = true;
+          sender_side = false;
+          follow = Some { Protocol.idle_s = 0.5; limit_s = 60. };
+        }) ->
+      ()
+  | _ -> Alcotest.fail "analyze fields");
+  match
+    (Protocol.parse_line
+       "{\"cmd\":\"study\",\"paths\":[\"a\",\"b\"],\"gap_s\":120,\
+        \"min_prefixes\":5}")
+      .Protocol.request
+  with
+  | Ok (Protocol.Study { paths = [ "a"; "b" ]; gap_s = 120.; min_prefixes = 5; _ })
+    ->
+      ()
+  | _ -> Alcotest.fail "study fields"
+
+(* --- server helpers ----------------------------------------------------- *)
+
+let start_server ?(jobs = 2) ?(queue = 8) () =
+  Server.start
+    {
+      Server.default_config with
+      address = `Tcp ("127.0.0.1", 0);
+      jobs;
+      queue_capacity = queue;
+      cache_capacity = 4;
+    }
+
+let stop_server server =
+  Server.stop server;
+  Server.wait server
+
+let rpc client fields =
+  match Client.rpc client (Json.Obj fields) with
+  | Ok r -> r
+  | Error msg -> Alcotest.failf "rpc: %s" msg
+
+let is_ok resp =
+  match Json.member "ok" resp with Some (Json.Bool b) -> b | _ -> false
+
+let error_code resp =
+  match Json.member "error" resp with
+  | Some e -> (
+      match Json.member "code" e with Some (Json.Str c) -> Some c | _ -> None)
+  | None -> None
+
+let result_member resp name =
+  match Json.member "result" resp with
+  | Some r -> Json.member name r
+  | None -> None
+
+let result_output resp =
+  match result_member resp "output" with
+  | Some (Json.Str s) -> s
+  | _ -> Alcotest.fail "response has no output"
+
+let result_cache_hit resp =
+  match result_member resp "cache_hit" with
+  | Some (Json.Bool b) -> b
+  | _ -> Alcotest.fail "response has no cache_hit"
+
+(* Receive until the response carrying [id] arrives, stashing the
+   others — pipelined requests complete in whatever order the pool
+   finishes them. *)
+let recv_for client stash id =
+  let key j =
+    match Json.member "id" j with Some v -> Json.to_string v | None -> "null"
+  in
+  let rec go () =
+    match Hashtbl.find_opt stash id with
+    | Some r ->
+        Hashtbl.remove stash id;
+        r
+    | None -> (
+        match Client.recv_line client with
+        | None -> Alcotest.failf "eof waiting for response %s" id
+        | Some line -> (
+            match Json.parse line with
+            | Ok j ->
+                Hashtbl.replace stash (key j) j;
+                go ()
+            | Error msg -> Alcotest.failf "bad response line: %s" msg))
+  in
+  go ()
+
+let write_capture ~seed ~prefixes path =
+  let result =
+    Scenario.run ~seed [ Scenario.router ~table_prefixes:prefixes 1 ]
+  in
+  Tdat_pkt.Pcap.to_file path result.Scenario.site_trace
+
+(* What `tdat analyze <path>` prints: the CLI calls this renderer. *)
+let batch_output path =
+  let r = Tdat_pkt.Pcap.read_file path in
+  Tdat_serve.Render.analysis
+    (Tdat.Analyzer.analyze_all ~jobs:1 r.Tdat_pkt.Pcap.trace)
+
+(* --- server: protocol round-trip ---------------------------------------- *)
+
+let test_server_roundtrip () =
+  let server = start_server () in
+  let client = Client.connect (Server.address server) in
+  (* ping *)
+  let resp = rpc client [ ("cmd", Json.Str "ping"); ("id", Json.Num 1.) ] in
+  Alcotest.(check bool) "ping ok" true (is_ok resp);
+  (* malformed JSON: typed error, connection survives *)
+  Client.send_line client "{this is not json";
+  (match Client.recv_line client with
+  | Some line -> (
+      match Json.parse line with
+      | Ok resp ->
+          Alcotest.(check bool) "malformed not ok" false (is_ok resp);
+          Alcotest.(check (option string))
+            "malformed code" (Some "bad_json") (error_code resp)
+      | Error msg -> Alcotest.failf "unparsable error response: %s" msg)
+  | None -> Alcotest.fail "connection died on malformed input");
+  (* unknown verb: still typed, still alive *)
+  let resp = rpc client [ ("cmd", Json.Str "frobnicate") ] in
+  Alcotest.(check (option string))
+    "unknown cmd" (Some "bad_request") (error_code resp);
+  (* missing file: 404-style *)
+  let resp =
+    rpc client
+      [ ("cmd", Json.Str "analyze"); ("path", Json.Str "/nonexistent.pcap") ]
+  in
+  Alcotest.(check (option string))
+    "missing file" (Some "not_found") (error_code resp);
+  (* the connection survived all of the above *)
+  let resp = rpc client [ ("cmd", Json.Str "stats") ] in
+  Alcotest.(check bool) "stats ok" true (is_ok resp);
+  Client.close client;
+  stop_server server
+
+(* --- server: analysis correctness and the cache -------------------------- *)
+
+let test_server_analyze_and_cache () =
+  let dir = tmpdir () in
+  let path = Filename.concat dir "cap.pcap" in
+  write_capture ~seed:31 ~prefixes:800 path;
+  let expected_a = batch_output path in
+  let server = start_server () in
+  let client = Client.connect (Server.address server) in
+  let analyze () =
+    rpc client [ ("cmd", Json.Str "analyze"); ("path", Json.Str path) ]
+  in
+  (* Cold: miss, and byte-identical to the batch CLI's stdout. *)
+  let resp = analyze () in
+  Alcotest.(check bool) "analyze ok" true (is_ok resp);
+  Alcotest.(check bool) "first is a miss" false (result_cache_hit resp);
+  Alcotest.(check string) "output matches batch" expected_a
+    (result_output resp);
+  (* Warm: hit, same bytes. *)
+  let resp = analyze () in
+  Alcotest.(check bool) "second is a hit" true (result_cache_hit resp);
+  Alcotest.(check string) "hit output identical" expected_a
+    (result_output resp);
+  (* Replace the file (different size): the (mtime, size) key must
+     invalidate, and the answer must be the new file's. *)
+  write_capture ~seed:32 ~prefixes:1400 path;
+  let expected_b = batch_output path in
+  Alcotest.(check bool)
+    "distinct captures render distinct output" false
+    (String.equal expected_a expected_b);
+  let resp = analyze () in
+  Alcotest.(check bool) "replacement is a miss" false (result_cache_hit resp);
+  Alcotest.(check string) "replacement output" expected_b
+    (result_output resp);
+  Client.close client;
+  stop_server server;
+  Sys.remove path;
+  Unix.rmdir dir
+
+(* --- server: queue-full backpressure ------------------------------------- *)
+
+let stats_field client name =
+  let resp = rpc client [ ("cmd", Json.Str "stats") ] in
+  match result_member resp name with
+  | Some (Json.Num n) -> int_of_float n
+  | _ -> Alcotest.failf "stats has no %s" name
+
+let await client name value =
+  let rec go n =
+    if n = 0 then Alcotest.failf "timeout waiting for %s=%d" name value
+    else if stats_field client name = value then ()
+    else begin
+      Unix.sleepf 0.01;
+      go (n - 1)
+    end
+  in
+  go 500
+
+let test_server_backpressure () =
+  (* One worker, queue of one: job 1 occupies the worker, job 2 fills
+     the queue, job 3 must be rejected with the 429-style busy error. *)
+  let server = start_server ~jobs:1 ~queue:1 () in
+  let addr = Server.address server in
+  let work = Client.connect addr in
+  let ctl = Client.connect addr in
+  let stash = Hashtbl.create 8 in
+  let sleep_req id =
+    Client.send_line work
+      (Json.to_string
+         (Json.Obj
+            [ ("cmd", Json.Str "sleep"); ("ms", Json.Num 300.);
+              ("id", Json.Num id) ]))
+  in
+  sleep_req 1.;
+  await ctl "in_flight" 1;
+  sleep_req 2.;
+  await ctl "queue_depth" 1;
+  sleep_req 3.;
+  let r3 = recv_for work stash "3" in
+  Alcotest.(check bool) "job 3 rejected" false (is_ok r3);
+  Alcotest.(check (option string)) "job 3 busy" (Some "busy") (error_code r3);
+  let r1 = recv_for work stash "1" in
+  Alcotest.(check bool) "job 1 completed" true (is_ok r1);
+  let r2 = recv_for work stash "2" in
+  Alcotest.(check bool) "job 2 completed" true (is_ok r2);
+  Client.close work;
+  Client.close ctl;
+  stop_server server
+
+(* --- server: tailing a still-growing capture ------------------------------ *)
+
+let test_server_follow_tail () =
+  let dir = tmpdir () in
+  let full = Filename.concat dir "full.pcap" in
+  let tail = Filename.concat dir "tail.pcap" in
+  write_capture ~seed:33 ~prefixes:800 full;
+  let data =
+    In_channel.with_open_bin full (fun ic -> In_channel.input_all ic)
+  in
+  let expected = batch_output full in
+  (* Start with the first half — cut mid-record on purpose — and
+     append the rest while the server is already reading. *)
+  let cut = String.length data / 2 in
+  Out_channel.with_open_bin tail (fun oc ->
+      Out_channel.output_string oc (String.sub data 0 cut));
+  let server = start_server () in
+  let client = Client.connect (Server.address server) in
+  let writer =
+    Domain.spawn (fun () ->
+        Unix.sleepf 0.15;
+        let oc =
+          open_out_gen [ Open_append; Open_binary ] 0o600 tail
+        in
+        output_string oc (String.sub data cut (String.length data - cut));
+        close_out oc)
+  in
+  let resp =
+    rpc client
+      [
+        ("cmd", Json.Str "analyze");
+        ("path", Json.Str tail);
+        ("follow_idle_s", Json.Num 0.5);
+        ("follow_limit_s", Json.Num 30.);
+      ]
+  in
+  Domain.join writer;
+  Alcotest.(check bool) "tail analyze ok" true (is_ok resp);
+  Alcotest.(check string) "tailed output equals full-file output" expected
+    (result_output resp);
+  Client.close client;
+  stop_server server;
+  Sys.remove full;
+  Sys.remove tail;
+  Unix.rmdir dir
+
+(* --- server: graceful drain ---------------------------------------------- *)
+
+let test_server_shutdown_drain () =
+  (* A job accepted before the shutdown verb must complete and its
+     response must be flushed before the server closes the socket. *)
+  let server = start_server ~jobs:1 () in
+  let client = Client.connect (Server.address server) in
+  let stash = Hashtbl.create 8 in
+  Client.send_line client
+    (Json.to_string
+       (Json.Obj
+          [ ("cmd", Json.Str "sleep"); ("ms", Json.Num 300.);
+            ("id", Json.Num 1.) ]));
+  Client.send_line client
+    (Json.to_string
+       (Json.Obj [ ("cmd", Json.Str "shutdown"); ("id", Json.Num 2.) ]));
+  let r2 = recv_for client stash "2" in
+  Alcotest.(check bool) "shutdown acknowledged" true (is_ok r2);
+  let r1 = recv_for client stash "1" in
+  Alcotest.(check bool) "in-flight job completed during drain" true
+    (is_ok r1);
+  (* After the drain the server closes the connection. *)
+  Alcotest.(check bool) "connection closed after drain" true
+    (Client.recv_line client = None);
+  Client.close client;
+  Server.wait server
+
+let test_server_sigterm_drain () =
+  (* The same guarantee out of process: spawn `tdat serve`, give it a
+     job, SIGTERM it mid-flight, and require the response, an orderly
+     EOF, and exit status 0. *)
+  let dir = tmpdir () in
+  let sock = Filename.concat dir "tdat.sock" in
+  let devnull = Unix.openfile "/dev/null" [ Unix.O_RDWR ] 0 in
+  let pid =
+    Unix.create_process tdat_exe
+      [| "tdat"; "serve"; "--socket"; sock; "--jobs"; "1" |]
+      devnull devnull devnull
+  in
+  Unix.close devnull;
+  (* Wait for the daemon to come up. *)
+  let rec connect n =
+    match Client.connect (`Unix sock) with
+    | client -> client
+    | exception Unix.Unix_error ((Unix.ENOENT | Unix.ECONNREFUSED), _, _) ->
+        if n = 0 then Alcotest.fail "serve daemon never came up"
+        else begin
+          Unix.sleepf 0.02;
+          connect (n - 1)
+        end
+  in
+  let client = connect 250 in
+  let stash = Hashtbl.create 8 in
+  Client.send_line client
+    (Json.to_string
+       (Json.Obj
+          [ ("cmd", Json.Str "sleep"); ("ms", Json.Num 400.);
+            ("id", Json.Num 1.) ]));
+  Unix.sleepf 0.1;
+  Unix.kill pid Sys.sigterm;
+  let r1 = recv_for client stash "1" in
+  Alcotest.(check bool) "job survived SIGTERM" true (is_ok r1);
+  Alcotest.(check bool) "orderly EOF after drain" true
+    (Client.recv_line client = None);
+  Client.close client;
+  (match Unix.waitpid [] pid with
+  | _, Unix.WEXITED 0 -> ()
+  | _, Unix.WEXITED n -> Alcotest.failf "serve exited %d" n
+  | _, (Unix.WSIGNALED n | Unix.WSTOPPED n) ->
+      Alcotest.failf "serve killed by signal %d" n);
+  if Sys.file_exists sock then Sys.remove sock;
+  Unix.rmdir dir
+
+(* --- server: study over the cache ---------------------------------------- *)
+
+let test_server_study () =
+  let dir = tmpdir () in
+  let path = Filename.concat dir "updates.mrt" in
+  let result =
+    Scenario.run ~seed:34 [ Scenario.router ~table_prefixes:600 1 ]
+  in
+  let o = List.hd result.Scenario.outcomes in
+  Tdat_bgp.Mrt.to_file path o.Scenario.mrt;
+  (* The reference: the batch aggregator over the same file. *)
+  let expected =
+    Tdat_study.Report.to_json
+      (Tdat_study.Aggregate.run ~jobs:1 [ path ])
+  in
+  let server = start_server () in
+  let client = Client.connect (Server.address server) in
+  let study () =
+    rpc client
+      [ ("cmd", Json.Str "study"); ("paths", Json.Arr [ Json.Str path ]) ]
+  in
+  let resp = study () in
+  Alcotest.(check bool) "study ok" true (is_ok resp);
+  (match (result_member resp "report", Json.parse expected) with
+  | Some got, Ok want ->
+      Alcotest.(check string)
+        "study report equals batch aggregate" (Json.to_string want)
+        (Json.to_string got)
+  | _ -> Alcotest.fail "study response shape");
+  (match result_member resp "cache_misses" with
+  | Some (Json.Num 1.) -> ()
+  | _ -> Alcotest.fail "first study misses");
+  let resp = study () in
+  (match result_member resp "cache_hits" with
+  | Some (Json.Num 1.) -> ()
+  | _ -> Alcotest.fail "second study hits");
+  Client.close client;
+  stop_server server;
+  Sys.remove path;
+  Unix.rmdir dir
+
+let suite =
+  [
+    Alcotest.test_case "json roundtrip" `Quick test_json_roundtrip;
+    Alcotest.test_case "json escapes" `Quick test_json_escapes;
+    Alcotest.test_case "json malformed" `Quick test_json_malformed;
+    Alcotest.test_case "json numbers" `Quick test_json_numbers;
+    Alcotest.test_case "protocol malformed" `Quick test_protocol_malformed;
+    Alcotest.test_case "protocol requests" `Quick test_protocol_requests;
+    Alcotest.test_case "server round-trip" `Quick test_server_roundtrip;
+    Alcotest.test_case "analyze + cache" `Quick test_server_analyze_and_cache;
+    Alcotest.test_case "queue-full backpressure" `Quick
+      test_server_backpressure;
+    Alcotest.test_case "tail a growing capture" `Quick
+      test_server_follow_tail;
+    Alcotest.test_case "shutdown drain" `Quick test_server_shutdown_drain;
+    Alcotest.test_case "SIGTERM drain (subprocess)" `Quick
+      test_server_sigterm_drain;
+    Alcotest.test_case "study via cache" `Quick test_server_study;
+  ]

@@ -230,6 +230,44 @@ let test_fold_file_matches_decode_result () =
   Alcotest.(check bool) "of_file messages" true
     (Mrt.of_file path = Mrt.messages sample_entries)
 
+let test_fold_fd_pipe_fed () =
+  (* A pipe delivers the archive in dribs and drabs — short reads land
+     mid-header and mid-record, and the writer pacing makes some reads
+     return nothing yet.  [fold_fd] must reassemble every record. *)
+  let archive =
+    Mrt.encode_entries
+      (List.concat_map
+         (fun k ->
+           [
+             state (k * 1_000_000) Mrt.Open_confirm Mrt.Established;
+             message ((k * 1_000_000) + 10_000) (update_msg (k * 50) 50);
+             message ((k * 1_000_000) + 20_000) Msg.Keepalive;
+           ])
+         (List.init 40 Fun.id))
+  in
+  let r, w = Unix.pipe ~cloexec:false () in
+  let writer =
+    Domain.spawn (fun () ->
+        let len = String.length archive in
+        let pos = ref 0 in
+        while !pos < len do
+          let n = min 97 (len - !pos) in
+          let wrote =
+            Tdat_pkt.Ingest_io.retry_eintr (fun () ->
+                Unix.write_substring w archive !pos n)
+          in
+          pos := !pos + wrote;
+          if !pos mod (97 * 13) < 97 then Unix.sleepf 0.001
+        done;
+        Unix.close w)
+  in
+  let entries, stats = Mrt.fold_fd r ~init:[] (fun acc e -> e :: acc) in
+  Domain.join writer;
+  Unix.close r;
+  Alcotest.(check int) "all records seen" 120 stats.Mrt.records;
+  Alcotest.(check bool) "byte-identical re-encode" true
+    (String.equal (Mrt.encode_entries (List.rev entries)) archive)
+
 (* --- qcheck: entry codec under random archives ---------------------------- *)
 
 let gen_prefix =
@@ -375,6 +413,34 @@ let test_detect_gap_split () =
       Alcotest.(check int) "second end" (t1 + 1_000_000)
         b.Study.Transfer.end_ts
   | ts -> Alcotest.failf "expected 2 transfers, got %d" (List.length ts)
+
+let test_detect_gap_exact_boundary () =
+  (* The paper counts "gaps of 200 s or more" as transfer boundaries, so
+     the comparison is inclusive: silence of exactly [quiet_gap] splits,
+     one microsecond less does not. *)
+  let gap = Study.Detect.default_config.Study.Detect.quiet_gap in
+  let t0 = 1_000_000 in
+  let entries_at dt =
+    [ message t0 (update_msg 0 40); message (t0 + dt) (update_msg 40 40) ]
+  in
+  (match detect (entries_at gap) with
+  | [ a; b ] ->
+      Alcotest.(check int) "first transfer is the first burst" 40
+        a.Study.Transfer.prefixes;
+      Alcotest.(check int) "second starts at the late update" (t0 + gap)
+        b.Study.Transfer.start_ts
+  | ts ->
+      Alcotest.failf "silence = quiet_gap must split: got %d transfer(s)"
+        (List.length ts));
+  match detect (entries_at (gap - 1)) with
+  | [ only ] ->
+      Alcotest.(check int) "one transfer spans both bursts" 80
+        only.Study.Transfer.prefixes;
+      Alcotest.(check int) "ends at the late update" (t0 + gap - 1)
+        only.Study.Transfer.end_ts
+  | ts ->
+      Alcotest.failf "silence < quiet_gap must not split: got %d transfer(s)"
+        (List.length ts)
 
 let test_detect_reset_closes () =
   let entries =
@@ -682,10 +748,13 @@ let suite =
       test_oversized_record;
     Alcotest.test_case "fold_file streaming" `Quick
       test_fold_file_matches_decode_result;
+    Alcotest.test_case "fold_fd pipe-fed stream" `Quick test_fold_fd_pipe_fed;
     qcheck_roundtrip;
     Alcotest.test_case "detector: anchored start" `Quick test_detect_anchored;
     Alcotest.test_case "detector: quiet-gap split" `Quick
       test_detect_gap_split;
+    Alcotest.test_case "detector: quiet-gap inclusive boundary" `Quick
+      test_detect_gap_exact_boundary;
     Alcotest.test_case "detector: reset closes" `Quick
       test_detect_reset_closes;
     Alcotest.test_case "detector: churn filtered" `Quick
