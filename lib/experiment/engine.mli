@@ -1,0 +1,45 @@
+(** The experiment engine: farm a corpus of capture/archive files over
+    a {!Tdat_parallel.Pool}, run one {!Variant}'s control and candidate
+    on every file, and collect the field-by-field divergences.
+
+    Determinism contract: the corpus is sorted (and deduplicated) by
+    path before dispatch and {!Tdat_parallel.Pool.map} preserves input
+    order, so a report — and its {!Report} renderings — is byte-for-byte
+    identical for every [jobs] value. *)
+
+type file_result = {
+  file : string;  (** Corpus path, as dispatched (sorted order). *)
+  fields : int;  (** Leaf fields compared by the {!Diff} kernel. *)
+  mismatches : Diff.entry list;  (** In document order; [[]] = agreement. *)
+  errors : bool;
+      (** True when either side raised and was projected to
+          {!Doc.error_doc} (the sides may still agree — both raising
+          the same error is agreement). *)
+}
+
+type t = {
+  variant : Variant.t;
+  tolerance : float;
+  files : file_result list;  (** Sorted by {!file_result.file}. *)
+  total_fields : int;
+  total_mismatches : int;
+  audit : Tdat_audit.Diag.t list;
+      (** A008 self-consistency findings over this very report; empty on
+          a healthy run. *)
+}
+
+val mismatching : t -> file_result list
+(** The files whose diff is non-empty, in report order. *)
+
+val run :
+  ?jobs:int -> ?tolerance:float -> Variant.t -> files:string list -> t
+(** [run variant ~files] compares control vs candidate on every file.
+    [jobs] defaults to {!Tdat_parallel.Pool.default_jobs}[ ()]; [1] is
+    fully sequential.  [tolerance] (default [0.]) is handed to
+    {!Diff.run}.  A variant side that raises contributes a
+    {!Doc.error_doc} rather than aborting the run, so a decode
+    disagreement is an ordinary mismatch at [report.error].
+
+    Observability: bumps the stable [experiment.files_compared],
+    [experiment.fields_compared] and [experiment.mismatches] counters,
+    and wraps each comparison in an [experiment.compare] span. *)

@@ -1,0 +1,14 @@
+(** Rendering an {!Engine.t} for humans ([to_text]) and machines
+    ([to_json]).  Both renderings are pure functions of the report, which
+    the engine builds deterministically — so both are byte-for-byte
+    identical across [--jobs] values (locked by the experiment tests,
+    the same way A007 locks the metrics snapshot). *)
+
+val to_json : Engine.t -> string
+(** Canonical JSON document: variant identity, totals, the per-file
+    field counts and every mismatch drill-down, plus any A008 audit
+    findings. *)
+
+val to_text : Engine.t -> string
+(** Multi-line human summary; one [MISMATCH] block per diverging file
+    naming every diverging field path. *)

@@ -6,12 +6,14 @@
 
 (* The measurement-study layer (lib/study) adds [Transfer] (detected
    table transfers, ordered by [Transfer.compare]) and [Mrt] (archive
-   records and FSM states, [Mrt.equal_fsm_state]) to the fence. *)
+   records and FSM states, [Mrt.equal_fsm_state]) to the fence; the
+   differential harness (lib/experiment) adds [Diff] (mismatch kinds
+   and entries, [Diff.equal_kind] / [Diff.compare_entry]). *)
 let fenced_modules =
   [
     "Time_us"; "Span"; "Span_set"; "Series"; "Transfer_id"; "Flow";
     "Endpoint"; "Prefix"; "As_path"; "Attr"; "Factors"; "Series_defs";
-    "Transfer"; "Mrt";
+    "Transfer"; "Mrt"; "Diff";
   ]
 
 (* Factor-taxonomy constructors counted as evidence that a [match]
@@ -144,6 +146,11 @@ let default_hot_paths =
       Funcs [ "conn_lines"; "handle_readable"; "flush_conn"; "drain_outbox";
               "reap" ] );
     ("Ingest_io", Funcs [ "of_read"; "retry_eintr" ]);
+    (* The experiment diff kernel walks every field of every report of
+       every corpus file; paths stay cons-lists until a divergence is
+       actually recorded. *)
+    ( "Diff",
+      Funcs [ "value"; "run"; "record"; "render_path"; "nums_agree"; "leaf" ] );
   ]
 
 (* (last qualifying module, ident) pairs whose minor-heap appetite is the

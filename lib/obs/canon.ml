@@ -1,0 +1,24 @@
+(* Shortest round-trip float rendering (DESIGN.md, "Differential
+   analysis").
+
+   [%.17g] always round-trips but over-prints (0.1 becomes
+   0.10000000000000001); [%.15g] under-prints for about half of the
+   value space.  Trying 15, then 16, then 17 significant digits and
+   keeping the first form that reads back bit-identically yields the
+   shortest correctly-rounding decimal — the same scheme Ryu-less
+   printers (Python < 3.1, older JSON emitters) used, and enough for
+   byte-compared reports: equal floats always print equally, distinct
+   floats never collide. *)
+
+let bits = Int64.bits_of_float
+
+let to_string v =
+  (* Bit comparison, not [=]: [-0.] must survive as ["-0"], and a NaN
+     fed here despite the contract still terminates (via %.17g). *)
+  let b = bits v in
+  let s15 = Printf.sprintf "%.15g" v in
+  if Int64.equal (bits (float_of_string s15)) b then s15
+  else
+    let s16 = Printf.sprintf "%.16g" v in
+    if Int64.equal (bits (float_of_string s16)) b then s16
+    else Printf.sprintf "%.17g" v

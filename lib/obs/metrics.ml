@@ -229,10 +229,18 @@ let add_escaped buf s =
     s;
   Buffer.add_char buf '"'
 
+(* Gauge values, histogram sums and bucket bounds print in the
+   canonical shortest round-trip form ([Canon]): the old [%.6f]
+   truncation could render two distinct sums identically (masking an
+   A007 divergence) and two equal-valued snapshots are still
+   byte-identical.  The [.0] suffix keeps whole-valued floats visibly
+   floats in the snapshot. *)
 let add_float buf v =
   if Float.is_integer v && Float.abs v < 1e15 then
     Buffer.add_string buf (Printf.sprintf "%.1f" v)
-  else Buffer.add_string buf (Printf.sprintf "%.6f" v)
+  else if Float.is_nan v || Float.abs v = Float.infinity then
+    Buffer.add_string buf (Printf.sprintf "\"%h\"" v)
+  else Buffer.add_string buf (Canon.to_string v)
 
 let add_instr buf instr =
   match instr with

@@ -28,14 +28,16 @@ type 'v t = {
   mutable tick : int;
   mutable hits : int;
   mutable misses : int;
+  mutable evictions : int;
 }
 
-type stats = { entries : int; hits : int; misses : int }
+type stats = { entries : int; hits : int; misses : int; evictions : int }
 
 module Obs = Tdat_obs.Metrics
 
 let m_hits = Obs.Counter.make ~stable:false "serve.cache.hits"
 let m_misses = Obs.Counter.make ~stable:false "serve.cache.misses"
+let m_evictions = Obs.Counter.make ~stable:false "serve.cache.evictions"
 
 let create ~capacity =
   if capacity < 1 then invalid_arg "Cache.create: capacity must be >= 1";
@@ -46,11 +48,19 @@ let create ~capacity =
     tick = 0;
     hits = 0;
     misses = 0;
+    evictions = 0;
   }
 
 let stats t =
   Mutex.lock t.m;
-  let s = { entries = Hashtbl.length t.tbl; hits = t.hits; misses = t.misses } in
+  let s =
+    {
+      entries = Hashtbl.length t.tbl;
+      hits = t.hits;
+      misses = t.misses;
+      evictions = t.evictions;
+    }
+  in
   Mutex.unlock t.m;
   s
 
@@ -64,7 +74,12 @@ let evict_lru t =
       | Some (_, stamp) when stamp <= e.stamp -> ()
       | _ -> victim := Some (k, e.stamp))
     t.tbl;
-  match !victim with Some (k, _) -> Hashtbl.remove t.tbl k | None -> ()
+  match !victim with
+  | Some (k, _) ->
+      Hashtbl.remove t.tbl k;
+      t.evictions <- t.evictions + 1;
+      Obs.Counter.incr m_evictions
+  | None -> ()
 
 let find_or_load t path ~load =
   let st = Unix.stat path in

@@ -8,7 +8,14 @@
 
 type 'v t
 
-type stats = { entries : int; hits : int; misses : int }
+type stats = {
+  entries : int;
+  hits : int;
+  misses : int;
+  evictions : int;  (** Entries displaced by capacity pressure (not
+                        mtime/size invalidation, which counts as a
+                        miss that overwrites in place). *)
+}
 
 val create : capacity:int -> 'v t
 (** @raise Invalid_argument if [capacity < 1]. *)

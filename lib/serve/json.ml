@@ -55,13 +55,16 @@ let add_escaped buf s =
     s;
   Buffer.add_char buf '"'
 
+(* Non-integers print in the canonical shortest round-trip form
+   (Tdat_obs.Canon), so two emissions of the same value are always the
+   same bytes and never longer than the value warrants. *)
 let add_num buf n =
   if Float.is_integer n && Float.abs n < 1e15 then
     Buffer.add_string buf (Printf.sprintf "%.0f" n)
   else if Float.is_nan n then Buffer.add_string buf "null"
   else if n = Float.infinity then Buffer.add_string buf "1e999"
   else if n = Float.neg_infinity then Buffer.add_string buf "-1e999"
-  else Buffer.add_string buf (Printf.sprintf "%.17g" n)
+  else Buffer.add_string buf (Tdat_obs.Canon.to_string n)
 
 let rec add buf = function
   | Null -> Buffer.add_string buf "null"

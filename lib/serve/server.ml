@@ -317,6 +317,7 @@ let cache_stats_json (s : Cache.stats) =
       ("entries", num_int s.entries);
       ("hits", num_int s.hits);
       ("misses", num_int s.misses);
+      ("evictions", num_int s.evictions);
     ]
 
 let stats_json t conns =

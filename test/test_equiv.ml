@@ -287,6 +287,76 @@ let transfer_props =
       (check (Some tight_config));
   ]
 
+(* Regression for the pset-hash precedence fix: consecutive /24
+   prefixes pack to values a constant stride apart ([1 lsl 14]), and a
+   multiplicative hash that keeps the LOW product bits degrades to one
+   long collision cluster on exactly this input — the canonical shape of
+   a full-table transfer.  Feed the streaming scan hundreds of
+   sequential /24s and require both the exact distinct-prefix count and
+   agreement with the extract-then-scan pipeline; a clustering
+   regression would also blow the generous wall-clock bound below long
+   before it failed a count. *)
+let sequential_slash24_trace n =
+  let buf = Buffer.create (n * 64) in
+  for i = 0 to n - 1 do
+    let nlri = [ Prefix.of_quad 10 (i / 256 mod 256) (i mod 256) 0 24 ] in
+    Buffer.add_string buf (Msg.encode (Msg.update ~nlri ()))
+  done;
+  let stream = Buffer.contents buf in
+  let seg_size = 1448 in
+  let rec cut off acc =
+    if off >= String.length stream then List.rev acc
+    else
+      let len = min seg_size (String.length stream - off) in
+      let seg =
+        Seg.v
+          ~ts:(1_000_000 + (List.length acc * 1_000))
+          ~src:ep2 ~dst:ep1 ~seq:off ~ack:0 ~flags:Seg.data_flags
+          ~payload:(String.sub stream off len)
+          ()
+      in
+      cut (off + len) (seg :: acc)
+  in
+  Trace.of_segments (cut 0 [])
+
+let test_sequential_slash24_clustering () =
+  let n = 600 in
+  let t = sequential_slash24_trace n in
+  let start = 0 in
+  let streaming =
+    Mct.transfer_end_of_reasm ~start (Msg_reader.reassemble_from_trace t ~flow)
+  in
+  let legacy =
+    Mct.transfer_end ~start
+      (Mct.of_timed_msgs (Msg_reader.extract_from_trace t ~flow))
+  in
+  Alcotest.(check bool) "streaming == extract-then-scan" true
+    (streaming = legacy);
+  match streaming with
+  | None -> Alcotest.fail "no transfer end on a pure update stream"
+  | Some r ->
+      Alcotest.(check int) "every sequential /24 counted once" n
+        r.Mct.prefixes;
+      Alcotest.(check int) "every update attributed" n r.Mct.updates
+
+let test_sequential_slash24_linear_time () =
+  let n = 30_000 in
+  let t = sequential_slash24_trace n in
+  let t0 = Unix.gettimeofday () in
+  let streaming =
+    Mct.transfer_end_of_reasm ~start:0 (Msg_reader.reassemble_from_trace t ~flow)
+  in
+  let dt = Unix.gettimeofday () -. t0 in
+  (match streaming with
+  | None -> Alcotest.fail "no transfer end on a pure update stream"
+  | Some r ->
+      Alcotest.(check int) "distinct prefixes at scale" n r.Mct.prefixes);
+  (* O(n) with the high-bit hash finishes in milliseconds; the low-bit
+     clustering regression this locks against took minutes at this n. *)
+  Alcotest.(check bool)
+    (Printf.sprintf "30k sequential /24s scanned in %.2fs (bound 10s)" dt)
+    true (dt < 10.)
+
 (* --- Scratch arena ------------------------------------------------------ *)
 
 let scratch_slot = 31 (* far from any slot the library owns *)
@@ -368,6 +438,10 @@ let test_perf_gate_rejects_tight_baseline () =
 
 let scratch_suite =
   [
+    Alcotest.test_case "MCT: sequential /24s count distinctly" `Quick
+      test_sequential_slash24_clustering;
+    Alcotest.test_case "MCT: 30k sequential /24s scan in linear time" `Slow
+      test_sequential_slash24_linear_time;
     Alcotest.test_case "scratch: buffer reused across checkouts" `Quick
       test_scratch_reuse;
     Alcotest.test_case "scratch: reentrant checkout degrades safely" `Quick

@@ -311,9 +311,62 @@ let test_with_obs_writes_files () =
   Alcotest.(check bool) "trace is a traceEvents object" true
     (String.starts_with ~prefix:"{\"traceEvents\":[" trace_json)
 
+(* --- Canon: shortest round-trip float rendering --------------------------- *)
+
+let test_canon_roundtrip_exact () =
+  (* Every rendering must parse back to the identical bit pattern. *)
+  let cases =
+    [
+      0.; -0.; 1.; -1.; 0.1; 0.2; 0.30000000000000004; 1e-3; 1.5e300;
+      4.9406564584124654e-324 (* min subnormal *);
+      1.7976931348623157e308 (* max finite *);
+      3.141592653589793; 1e15; 1e15 +. 1.; 0.9794756157315281;
+      6553.6; 2.2250738585072014e-308;
+    ]
+  in
+  List.iter
+    (fun v ->
+      let s = Tdat_obs.Canon.to_string v in
+      Alcotest.(check bool)
+        (Printf.sprintf "%s round-trips %h" s v)
+        true
+        (Int64.equal
+           (Int64.bits_of_float (float_of_string s))
+           (Int64.bits_of_float v)))
+    cases
+
+let test_canon_shortest () =
+  (* The canonical rendering prefers the shortest of %.15g/%.16g/%.17g
+     that survives the round trip: familiar decimals stay short. *)
+  List.iter
+    (fun (v, expected) ->
+      Alcotest.(check string)
+        (Printf.sprintf "canonical form of %h" v)
+        expected
+        (Tdat_obs.Canon.to_string v))
+    [ (0.1, "0.1"); (0.5, "0.5"); (1., "1"); (1e300, "1e+300");
+      (0.30000000000000004, "0.30000000000000004") ]
+
+let canon_roundtrip_prop =
+  QCheck_alcotest.to_alcotest
+    (QCheck.Test.make ~name:"canon round-trips arbitrary finite floats"
+       ~count:2000
+       QCheck.(map (fun (a, b) -> a *. (2. ** float_of_int b))
+                 (pair (float_range (-1.) 1.) (int_range (-300) 300)))
+       (fun v ->
+         let s = Tdat_obs.Canon.to_string v in
+         Int64.equal
+           (Int64.bits_of_float (float_of_string s))
+           (Int64.bits_of_float v)))
+
 let suite =
   [
     Alcotest.test_case "counters are monotone" `Quick test_counter_monotone;
+    Alcotest.test_case "canon floats round-trip exactly" `Quick
+      test_canon_roundtrip_exact;
+    Alcotest.test_case "canon floats render shortest" `Quick
+      test_canon_shortest;
+    canon_roundtrip_prop;
     Alcotest.test_case "disabled registry is a no-op" `Quick
       test_disabled_is_noop;
     Alcotest.test_case "registration is idempotent by name" `Quick

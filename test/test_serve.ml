@@ -305,6 +305,55 @@ let test_server_analyze_and_cache () =
   Sys.remove path;
   Unix.rmdir dir
 
+(* --- server: cache eviction accounting ------------------------------------ *)
+
+let cache_pcap_field resp name =
+  match result_member resp "cache" with
+  | Some cache -> (
+      match Option.bind (Json.member "pcap" cache) (Json.member name) with
+      | Some (Json.Num n) -> int_of_float n
+      | _ -> Alcotest.failf "stats has no cache.pcap.%s" name)
+  | None -> Alcotest.fail "stats has no cache"
+
+let test_server_cache_evictions () =
+  (* Capacity is 4 (start_server): five distinct cold captures must
+     displace exactly one entry, and re-analyzing the displaced one
+     displaces another — capacity pressure, distinct from the
+     mtime/size invalidation covered above (which counts as a miss, not
+     an eviction). *)
+  let dir = tmpdir () in
+  let paths =
+    List.init 5 (fun i -> Filename.concat dir (Printf.sprintf "c%d.pcap" i))
+  in
+  List.iteri
+    (fun i p -> write_capture ~seed:(40 + i) ~prefixes:(200 + (10 * i)) p)
+    paths;
+  let server = start_server () in
+  let client = Client.connect (Server.address server) in
+  let analyze p =
+    let resp = rpc client [ ("cmd", Json.Str "analyze"); ("path", Json.Str p) ] in
+    Alcotest.(check bool) "analyze ok" true (is_ok resp)
+  in
+  List.iter analyze paths;
+  let resp = rpc client [ ("cmd", Json.Str "stats") ] in
+  Alcotest.(check int) "five cold analyses all miss" 5
+    (cache_pcap_field resp "misses");
+  Alcotest.(check int) "no hits yet" 0 (cache_pcap_field resp "hits");
+  Alcotest.(check int) "entries capped at capacity" 4
+    (cache_pcap_field resp "entries");
+  Alcotest.(check int) "exactly one capacity eviction" 1
+    (cache_pcap_field resp "evictions");
+  analyze (List.hd paths);
+  let resp = rpc client [ ("cmd", Json.Str "stats") ] in
+  Alcotest.(check int) "the evicted path misses again" 6
+    (cache_pcap_field resp "misses");
+  Alcotest.(check int) "and displaces another entry" 2
+    (cache_pcap_field resp "evictions");
+  Client.close client;
+  stop_server server;
+  List.iter Sys.remove paths;
+  Unix.rmdir dir
+
 (* --- server: queue-full backpressure ------------------------------------- *)
 
 let stats_field client name =
@@ -525,6 +574,8 @@ let suite =
     Alcotest.test_case "protocol requests" `Quick test_protocol_requests;
     Alcotest.test_case "server round-trip" `Quick test_server_roundtrip;
     Alcotest.test_case "analyze + cache" `Quick test_server_analyze_and_cache;
+    Alcotest.test_case "cache eviction accounting" `Quick
+      test_server_cache_evictions;
     Alcotest.test_case "queue-full backpressure" `Quick
       test_server_backpressure;
     Alcotest.test_case "tail a growing capture" `Quick
