@@ -58,6 +58,39 @@ let response_ok resp =
   | Some (Json.Bool b) -> b
   | _ -> false
 
+let jfloat json name =
+  match Json.member name json with
+  | Some v -> Option.value (Json.to_float_opt v) ~default:0.
+  | None -> 0.
+
+(* The daemon's own view of the load it just absorbed: the rolling
+   window for the analyze endpoint and the exemplar count, straight
+   from a [stats] round-trip before the drain. *)
+let query_rolling address =
+  let client = Client.connect address in
+  let resp =
+    Fun.protect
+      ~finally:(fun () -> Client.close client)
+      (fun () -> Client.rpc client (Json.Obj [ ("cmd", Json.Str "stats") ]))
+  in
+  match resp with
+  | Error _ -> None
+  | Ok r -> (
+      match Json.member "result" r with
+      | None -> None
+      | Some result ->
+          let window =
+            match Json.member "windows" result with
+            | Some w -> Json.member "analyze" w
+            | None -> None
+          in
+          let exemplars =
+            match Json.member "exemplars" result with
+            | Some (Json.Arr l) -> List.length l
+            | Some _ | None -> 0
+          in
+          Some (window, exemplars))
+
 (* The reference output: what `tdat analyze <path>` prints (the CLI
    calls this exact renderer). *)
 let batch_output path =
@@ -159,6 +192,7 @@ let run () =
   Array.sort Float.compare latencies;
   let total_requests = Array.length latencies in
   let throughput = float_of_int total_requests /. wall_s in
+  let rolling = query_rolling address in
   (* Graceful drain, then clean up the temp captures. *)
   Server.stop server;
   Server.wait server;
@@ -176,6 +210,18 @@ let run () =
      [serve_load] byte-identical output: %b, errors: %d\n%!"
     total_requests wall_s throughput p50 p95 p99 cold_mean warm_mean speedup
     !byte_identical !errors;
+  (match rolling with
+  | Some (Some w, exemplars) ->
+      Printf.printf
+        "[serve_load] rolling(analyze, last %.0fs): %d req  p50 %.0f us  \
+         p95 %.0f us  p99 %.0f us  (%d exemplars)\n\
+         %!"
+        (jfloat w "window_s")
+        (int_of_float (jfloat w "count"))
+        (jfloat w "p50_us") (jfloat w "p95_us") (jfloat w "p99_us") exemplars
+  | Some (None, _) | None ->
+      Printf.printf "[serve_load] rolling window stats unavailable\n%!";
+      incr errors);
   let oc = open_out "BENCH_SERVE.json" in
   Printf.fprintf oc
     "{\n\
@@ -189,13 +235,23 @@ let run () =
     \  \"throughput_rps\": %.2f,\n\
     \  \"latency_us\": { \"p50\": %.0f, \"p95\": %.0f, \"p99\": %.0f },\n\
     \  \"cache\": { \"cold_mean_us\": %.0f, \"warm_mean_us\": %.0f, \
-     \"speedup\": %.2f },\n\
-    \  \"byte_identical\": %b,\n\
+     \"speedup\": %.2f },\n"
+    clients requests_per_client (List.length paths) total_requests wall_s
+    throughput p50 p95 p99 cold_mean warm_mean speedup;
+  (match rolling with
+  | Some (Some w, exemplars) ->
+      Printf.fprintf oc
+        "  \"rolling\": { \"endpoint\": \"analyze\", \"window_s\": %.0f, \
+         \"count\": %.0f, \"rps\": %.2f, \"p50_us\": %.0f, \"p95_us\": %.0f, \
+         \"p99_us\": %.0f, \"exemplars\": %d },\n"
+        (jfloat w "window_s") (jfloat w "count") (jfloat w "rps")
+        (jfloat w "p50_us") (jfloat w "p95_us") (jfloat w "p99_us") exemplars
+  | Some (None, _) | None -> ());
+  Printf.fprintf oc
+    "  \"byte_identical\": %b,\n\
     \  \"errors\": %d\n\
      }\n"
-    clients requests_per_client (List.length paths) total_requests wall_s
-    throughput p50 p95 p99 cold_mean warm_mean speedup !byte_identical
-    !errors;
+    !byte_identical !errors;
   close_out oc;
   Printf.printf "[serve_load] wrote BENCH_SERVE.json\n%!"
 

@@ -467,6 +467,101 @@ let serve_cmd =
       $ Tdat_obs_cli.term $ socket_arg $ host_arg $ port_arg $ jobs_arg
       $ queue_arg $ cache_arg)
 
+(* --- tdat top ------------------------------------------------------------ *)
+
+(* Live terminal dashboard over a running daemon: poll `stats` every
+   --interval seconds and render one frame per poll.  --once prints a
+   single frame without touching the terminal (scripts, tests). *)
+let top_loop socket host port interval once =
+  let address =
+    match socket with
+    | Some path -> `Unix path
+    | None -> `Tcp (host, port)
+  in
+  let addr_label =
+    match address with
+    | `Unix path -> path
+    | `Tcp (h, p) -> Printf.sprintf "%s:%d" h p
+  in
+  let module Json = Tdat_serve.Json in
+  let poll_stats () =
+    let client = Tdat_serve.Client.connect address in
+    Fun.protect
+      ~finally:(fun () -> Tdat_serve.Client.close client)
+      (fun () ->
+        Tdat_serve.Client.rpc client
+          (Json.Obj [ ("id", Json.Num 1.); ("cmd", Json.Str "stats") ]))
+  in
+  let rec loop () =
+    match poll_stats () with
+    | Error msg ->
+        Printf.eprintf "tdat: top: %s\n" msg;
+        1
+    | exception Unix.Unix_error (e, _, _) ->
+        Printf.eprintf "tdat: top: %s: %s\n" addr_label (Unix.error_message e);
+        1
+    | Ok response -> (
+        match Json.member "result" response with
+        | Some result ->
+            if not once then print_string "\x1b[2J\x1b[H";
+            print_string (Tdat_serve.Render.dashboard ~address:addr_label result);
+            flush stdout;
+            if once then 0
+            else begin
+              Unix.sleepf interval;
+              loop ()
+            end
+        | None ->
+            Printf.eprintf "tdat: top: daemon answered without a result\n";
+            1)
+  in
+  loop ()
+
+let top_cmd =
+  let socket_arg =
+    let doc = "Poll the daemon on a Unix-domain socket at $(docv)." in
+    Arg.(value & opt (some string) None & info [ "socket" ] ~docv:"PATH" ~doc)
+  in
+  let host_arg =
+    let doc = "Daemon TCP address (ignored with $(b,--socket))." in
+    Arg.(value & opt string "127.0.0.1" & info [ "host" ] ~docv:"HOST" ~doc)
+  in
+  let port_arg =
+    let doc = "Daemon TCP port (ignored with $(b,--socket))." in
+    Arg.(value & opt int 4774 & info [ "port" ] ~docv:"PORT" ~doc)
+  in
+  let interval_arg =
+    let doc = "Seconds between polls." in
+    Arg.(value & opt float 2. & info [ "interval" ] ~docv:"SECONDS" ~doc)
+  in
+  let once_arg =
+    let doc =
+      "Print a single frame and exit, without clearing the terminal \
+       (scripting / tests)."
+    in
+    Arg.(value & flag & info [ "once" ] ~doc)
+  in
+  let doc = "Live dashboard over a running serve daemon" in
+  let man =
+    [
+      `S Manpage.s_description;
+      `P
+        "Polls a running $(b,tdat serve) daemon's $(b,stats) verb and \
+         renders a terminal dashboard: request and error totals, \
+         admission-queue depth, cache hit ratios, per-endpoint rolling \
+         p50/p95/p99 latency over the last minute, and the worst-request \
+         exemplars with their trace ids.  The same numbers are available \
+         machine-readably through the $(b,stats) and $(b,metrics) \
+         protocol verbs.";
+    ]
+  in
+  Cmd.v
+    (Cmd.info "top" ~doc ~man)
+    Term.(
+      const (fun socket host port interval once ->
+          top_loop socket host port (Float.max 0.1 interval) once)
+      $ socket_arg $ host_arg $ port_arg $ interval_arg $ once_arg)
+
 (* --- tdat experiment ----------------------------------------------------- *)
 
 let experiment_exit (reports : Tdat_experiment.Engine.t list) =
@@ -671,7 +766,7 @@ let cmd =
   Cmd.group
     (Cmd.info "tdat" ~version:"1.0.0" ~doc)
     ~default:analyze_term
-    [ analyze_cmd; check_cmd; study_cmd; serve_cmd; experiment_cmd ]
+    [ analyze_cmd; check_cmd; study_cmd; serve_cmd; top_cmd; experiment_cmd ]
 
 (* Backward compatibility: `tdat TRACE.pcap ...` (the pre-subcommand
    spelling, still what README documents first) means `tdat analyze
@@ -684,6 +779,7 @@ let argv =
     && (not (String.equal argv.(1) "check"))
     && (not (String.equal argv.(1) "study"))
     && (not (String.equal argv.(1) "serve"))
+    && (not (String.equal argv.(1) "top"))
     && (not (String.equal argv.(1) "experiment"))
     && String.length argv.(1) > 0
     && argv.(1).[0] <> '-'

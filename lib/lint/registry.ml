@@ -57,6 +57,12 @@ let all =
     rule "L010" ~severity:Finding.Warning ~summary:"unused lint suppression"
       "A [@tdat.lint.allow ...] attribute suppressed nothing; delete it so \
        stale allowlists cannot hide future regressions.";
+    rule "L011" ~summary:"non-literal or malformed metric/span name"
+      "A metric or span name (Counter/Gauge/Histogram.make, Span.with_ / \
+       Span.timed, Tracer.begin_span/end_span/complete_span) must be a \
+       literal lowercase snake-case string — [a-z0-9] words joined by \
+       '.', '_' or '-' — so names are greppable, collision-free and \
+       stable in the Prometheus exposition; no dynamic concatenation.";
   ]
 
 let find id = List.find_opt (fun r -> String.equal r.id id) all
@@ -99,7 +105,7 @@ let apply_spec spec =
         | None ->
             Result.Error
               (Printf.sprintf
-                 "unknown rule %S in --rules (expected L000..L010 clauses \
+                 "unknown rule %S in --rules (expected L000..L011 clauses \
                   like +L007,-L003)"
                  clause)
         | Some _ -> (

@@ -117,6 +117,57 @@ let rec is_catch_all (p : Parsetree.pattern) =
   | Ppat_alias (a, _) | Ppat_constraint (a, _) -> is_catch_all a
   | _ -> false
 
+(* --- L011: metric/span names ---------------------------------------------- *)
+
+(* The observability APIs whose name argument becomes a grep target, a
+   registry key and (mangled) a Prometheus series name.  [`Positional]
+   means the name is the last unlabelled argument (Counter.make
+   ~registry:r "x"); [`Labelled] means it arrives as [~name]. *)
+let obs_name_target lid =
+  match (Ident.last_module lid, Ident.name lid) with
+  | Some ("Counter" | "Gauge" | "Histogram"), Some "make" -> Some `Positional
+  | Some "Span", Some ("with_" | "timed") -> Some `Labelled
+  | Some "Tracer", Some ("begin_span" | "end_span") -> Some `Positional
+  | Some "Tracer", Some "complete_span" -> Some `Labelled
+  | _ -> None
+
+(* ^[a-z][a-z0-9]*([._-][a-z0-9]+)*$ — lowercase alnum words joined by
+   single '.', '_' or '-' separators. *)
+let valid_obs_name s =
+  let n = String.length s in
+  let is_lower c = c >= 'a' && c <= 'z' in
+  let is_alnum c = is_lower c || (c >= '0' && c <= '9') in
+  let is_sep c = c = '.' || c = '_' || c = '-' in
+  if n = 0 || not (is_lower s.[0]) then false
+  else begin
+    let ok = ref true in
+    for i = 1 to n - 1 do
+      let c = s.[i] in
+      if is_alnum c then ()
+      else if is_sep c then begin
+        if i = n - 1 || not (is_alnum s.[i - 1]) || not (is_alnum s.[i + 1])
+        then ok := false
+      end
+      else ok := false
+    done;
+    !ok
+  end
+
+let obs_name_arg kind args =
+  match kind with
+  | `Labelled ->
+      List.find_map
+        (fun (label, a) ->
+          match label with
+          | Asttypes.Labelled "name" -> Some a
+          | _ -> None)
+        args
+  | `Positional ->
+      List.fold_left
+        (fun acc (label, a) ->
+          match label with Asttypes.Nolabel -> Some a | _ -> acc)
+        None args
+
 (* --- L009: allocation-heavy idioms in hot paths --------------------------- *)
 
 type hot_scope = All | Funcs of string list
@@ -229,7 +280,36 @@ let check ~enabled ~in_lib ~hot_paths ~module_name (str : Parsetree.structure) =
   in
   let local_compare = List.mem "compare" (toplevel_value_names str) in
   let super = Ast_iterator.default_iterator in
+  let check_obs_name (e : Parsetree.expression) =
+    match e.pexp_desc with
+    | Pexp_apply ({ pexp_desc = Pexp_ident { txt; _ }; _ }, args) -> (
+        match obs_name_target txt with
+        | None -> ()
+        | Some kind -> (
+            match obs_name_arg kind args with
+            | None -> ()
+            | Some
+                {
+                  Parsetree.pexp_desc = Pexp_constant (Pconst_string (s, _, _));
+                  pexp_loc;
+                  _;
+                } ->
+                if not (valid_obs_name s) then
+                  report ~loc:pexp_loc ~code:"L011"
+                    (Printf.sprintf
+                       "metric/span name %S is not lowercase snake-case \
+                        (^[a-z][a-z0-9]*([._-][a-z0-9]+)*$); fix the name so \
+                        it greps and mangles cleanly"
+                       s)
+            | Some a ->
+                report ~loc:a.Parsetree.pexp_loc ~code:"L011"
+                  "metric/span name built dynamically; pass a literal \
+                   lowercase snake-case string so every series/span name \
+                   is greppable and the Prometheus exposition stays stable"))
+    | _ -> ()
+  in
   let expr iter (e : Parsetree.expression) =
+    check_obs_name e;
     (match e.pexp_desc with
     | Pexp_ident { txt; loc } when is_poly_compare local_compare txt ->
         report ~loc ~code:"L001"

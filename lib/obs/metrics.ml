@@ -199,6 +199,47 @@ let find_gauge r name =
 let find_histogram r name =
   match find r name with Some { instr = H h; _ } -> Some h | _ -> None
 
+(* --- iteration --------------------------------------------------------- *)
+
+(* A read-only view of one instrument, for exposition encoders
+   (Prometheus, dashboards) that live outside this module.  Counts and
+   sums are read instrument-by-instrument without quiescing writers, so
+   a view of a live registry is approximate; stable sections compared
+   across [--jobs] are read quiesced by construction. *)
+type view =
+  | Counter_v of int
+  | Gauge_v of float
+  | Histogram_v of {
+      v_count : int;
+      v_sum : float;
+      v_buckets : (float * int) array;
+    }
+
+let fold_entries ?(stable_only = false) r ~init ~f =
+  Mutex.lock r.rmutex;
+  let entries =
+    List.sort (fun a b -> String.compare a.name b.name) r.entries
+  in
+  Mutex.unlock r.rmutex;
+  List.fold_left
+    (fun acc e ->
+      if stable_only && not e.stable then acc
+      else
+        let v =
+          match e.instr with
+          | C c -> Counter_v (Atomic.get c.c_v)
+          | G g -> Gauge_v (Atomic.get g.g_v)
+          | H h ->
+              Histogram_v
+                {
+                  v_count = Atomic.get h.h_count;
+                  v_sum = Atomic.get h.h_sum;
+                  v_buckets = Histogram.bucket_counts h;
+                }
+        in
+        f acc ~name:e.name ~stable:e.stable v)
+    init entries
+
 let reset r =
   Mutex.lock r.rmutex;
   List.iter

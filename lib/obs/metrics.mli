@@ -94,6 +94,29 @@ val find_counter : registry -> string -> Counter.t option
 val find_gauge : registry -> string -> Gauge.t option
 val find_histogram : registry -> string -> Histogram.t option
 
+(** A read-only view of one instrument, for exposition encoders
+    ({!Prometheus}, dashboards) built outside this module. *)
+type view =
+  | Counter_v of int
+  | Gauge_v of float
+  | Histogram_v of {
+      v_count : int;
+      v_sum : float;
+      v_buckets : (float * int) array;
+          (** [(upper_bound, count)] per bucket, overflow last with
+              bound [infinity]. *)
+    }
+
+val fold_entries :
+  ?stable_only:bool ->
+  registry ->
+  init:'a ->
+  f:('a -> name:string -> stable:bool -> view -> 'a) ->
+  'a
+(** Fold over the registry's instruments in name order.  With
+    [stable_only], volatile instruments are skipped.  Values are read
+    without quiescing writers — exact only when nothing is updating. *)
+
 val snapshot_json : ?stable_only:bool -> registry -> string
 (** The registry as a deterministic JSON object: metrics sorted by
     name, fixed number formatting, a ["stable"] section and (unless

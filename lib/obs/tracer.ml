@@ -1,6 +1,13 @@
-type ph = B | E
+type ph = B | E | X
 
-type event = { name : string; ph : ph; ts : float; tid : int }
+type event = {
+  name : string;
+  ph : ph;
+  ts : float;
+  dur : float;  (* X events only; 0. for B/E *)
+  tid : int;
+  trace : string option;
+}
 
 let on = Atomic.make false
 let set_enabled v = Atomic.set on v
@@ -27,13 +34,55 @@ let key =
       Mutex.unlock bmutex;
       r)
 
-let emit ph name =
+(* The current request's trace id, domain-local so a pool worker
+   executing a traced job stamps every span it emits — this is what
+   connects queue-wait, decode, analyze and render into one tree per
+   request. *)
+let ctx_key : string option ref Domain.DLS.key =
+  Domain.DLS.new_key (fun () -> ref None)
+
+let current_context () = !(Domain.DLS.get ctx_key)
+
+let with_context trace f =
+  let r = Domain.DLS.get ctx_key in
+  let saved = !r in
+  r := trace;
+  Fun.protect ~finally:(fun () -> r := saved) f
+
+let push e =
   let buf = Domain.DLS.get key in
-  buf :=
-    { name; ph; ts = Clock.now_us (); tid = (Domain.self () :> int) } :: !buf
+  buf := e :: !buf
+
+let emit ph name =
+  push
+    {
+      name;
+      ph;
+      ts = Clock.now_us ();
+      dur = 0.;
+      tid = (Domain.self () :> int);
+      trace = current_context ();
+    }
 
 let begin_span name = if Atomic.get on then emit B name
 let end_span name = if Atomic.get on then emit E name
+
+(* Retroactive spans (queue wait, measured only once the job starts)
+   emit as Chrome "X" complete events: a begin timestamp in the past
+   would break the B/E nesting of events already recorded on this
+   domain, while an X event carries its own duration and nests
+   freely. *)
+let complete_span ~name ~begin_us ~dur_us =
+  if Atomic.get on then
+    push
+      {
+        name;
+        ph = X;
+        ts = begin_us;
+        dur = (if dur_us < 0. then 0. else dur_us);
+        tid = (Domain.self () :> int);
+        trace = current_context ();
+      }
 
 let clear () =
   Mutex.lock bmutex;
@@ -59,7 +108,8 @@ let balanced () =
           match stack with
           | top :: rest when String.equal top e.name ->
               Hashtbl.replace stacks e.tid rest
-          | _ -> ok := false))
+          | _ -> ok := false)
+      | X -> ())
     (events ());
   Hashtbl.iter (fun _ stack -> if stack <> [] then ok := false) stacks;
   !ok
@@ -88,8 +138,18 @@ let to_json () =
       Buffer.add_string buf "\n{\"name\":";
       add_escaped buf e.name;
       Buffer.add_string buf ",\"cat\":\"tdat\",\"ph\":";
-      Buffer.add_string buf (match e.ph with B -> "\"B\"" | E -> "\"E\"");
+      Buffer.add_string buf
+        (match e.ph with B -> "\"B\"" | E -> "\"E\"" | X -> "\"X\"");
       Buffer.add_string buf (Printf.sprintf ",\"ts\":%.3f" e.ts);
+      (match e.ph with
+      | X -> Buffer.add_string buf (Printf.sprintf ",\"dur\":%.3f" e.dur)
+      | B | E -> ());
+      (match e.trace with
+      | Some t ->
+          Buffer.add_string buf ",\"args\":{\"trace\":";
+          add_escaped buf t;
+          Buffer.add_char buf '}'
+      | None -> ());
       Buffer.add_string buf (Printf.sprintf ",\"pid\":0,\"tid\":%d}" e.tid))
     evs;
   Buffer.add_string buf "\n]}\n";

@@ -30,7 +30,7 @@ let h_queue_wait =
   Obs.Histogram.make ~stable:false
     ~buckets:Obs.Histogram.time_us_buckets "service.queue_wait_us"
 
-type job = { run : unit -> unit; enqueued_us : float }
+type job = { run : unit -> unit; enqueued_us : float; trace : string option }
 
 type t = {
   m : Mutex.t;
@@ -64,9 +64,24 @@ let in_flight t =
    (Pool.map re-raises), so exceptions stop at the job boundary — the
    submitter is expected to encode failures into its own completion
    path (the serve layer turns them into error responses). *)
-let run_guarded job =
+let run_body job =
+  (* The job's queue wait is only known once it starts, so it records
+     retroactively as an "X" complete event — a B event with a past
+     timestamp would break the nesting of spans already recorded on
+     this worker domain.  Emitted inside the job's trace context so it
+     joins the request's span tree. *)
+  if Tdat_obs.Tracer.enabled () then
+    Tdat_obs.Tracer.complete_span ~name:"service.queue_wait"
+      ~begin_us:job.enqueued_us
+      ~dur_us:(Tdat_obs.Clock.now_us () -. job.enqueued_us);
   (try job.run () with _ -> ());
   Obs.Counter.incr m_completed
+
+let run_guarded job =
+  match job.trace with
+  | None -> run_body job
+  | Some _ as trace ->
+      Tdat_obs.Tracer.with_context trace (fun () -> run_body job)
 
 let dispatcher_loop t =
   let batch = ref [] in
@@ -129,7 +144,7 @@ let create ?jobs ?(capacity = 64) () =
   t.dispatcher <- Some (Domain.spawn (fun () -> dispatcher_loop t));
   t
 
-let submit t run =
+let submit ?trace t run =
   Mutex.lock t.m;
   let outcome =
     if t.draining then Rejected_draining
@@ -138,7 +153,7 @@ let submit t run =
       Rejected_full
     end
     else begin
-      Queue.push { run; enqueued_us = Tdat_obs.Clock.now_us () } t.q;
+      Queue.push { run; enqueued_us = Tdat_obs.Clock.now_us (); trace } t.q;
       Obs.Counter.incr m_submitted;
       Obs.Gauge.set g_depth (float_of_int (Queue.length t.q));
       Condition.signal t.nonempty;

@@ -31,8 +31,14 @@ val create : ?jobs:int -> ?capacity:int -> unit -> t
     number of queued-but-not-yet-running jobs.
     @raise Invalid_argument if [capacity < 1]. *)
 
-val submit : t -> (unit -> unit) -> outcome
-(** Non-blocking admission.  Safe to call from any domain. *)
+val submit : ?trace:string -> t -> (unit -> unit) -> outcome
+(** Non-blocking admission.  Safe to call from any domain.
+
+    With [trace], the worker runs the job inside
+    {!Tdat_obs.Tracer.with_context}[ (Some trace)], and (when tracing
+    is enabled) records the job's queue wait as a [service.queue_wait]
+    complete event spanning enqueue to execution start — so the span
+    tree a traced job emits is connected to its request. *)
 
 val jobs : t -> int
 val capacity : t -> int

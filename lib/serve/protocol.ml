@@ -31,6 +31,7 @@ type follow = { idle_s : float; limit_s : float }
 type request =
   | Ping
   | Stats
+  | Metrics of { stable_only : bool }
   | Shutdown
   | Sleep of { ms : float }
   | Analyze of {
@@ -51,6 +52,7 @@ type request =
 let cmd_name = function
   | Ping -> "ping"
   | Stats -> "stats"
+  | Metrics _ -> "metrics"
   | Shutdown -> "shutdown"
   | Sleep _ -> "sleep"
   | Analyze _ -> "analyze"
@@ -61,9 +63,14 @@ let cmd_name = function
    the event loop. *)
 let is_job = function
   | Sleep _ | Analyze _ | Check _ | Study _ -> true
-  | Ping | Stats | Shutdown -> false
+  | Ping | Stats | Metrics _ | Shutdown -> false
 
-type parsed = { id : Json.t; request : (request, error) result }
+type parsed = {
+  id : Json.t;
+  trace : string option;  (* client-supplied trace id, job verbs only *)
+  timings : bool;  (* echo the stage breakdown in the response *)
+  request : (request, error) result;
+}
 
 (* --- request parsing --------------------------------------------------- *)
 
@@ -125,6 +132,9 @@ let parse_request json =
   match cmd with
   | "ping" -> Ok Ping
   | "stats" -> Ok Stats
+  | "metrics" ->
+      let* stable_only = field_bool json "stable_only" in
+      Ok (Metrics { stable_only = Option.value stable_only ~default:false })
   | "shutdown" -> Ok Shutdown
   | "sleep" ->
       let* ms = field_float json "ms" in
@@ -189,25 +199,51 @@ let parse_request json =
                })
   | other -> Error (err_bad_request ("unknown cmd " ^ other))
 
+(* The tracing envelope shared by every verb: an optional
+   client-supplied ["trace"] id (bounded so it stays printable in
+   dashboards) and a ["timings"] opt-in echoing the stage breakdown in
+   the response. *)
+let parse_envelope json =
+  let* trace = field_string json "trace" in
+  let* trace =
+    match trace with
+    | None -> Ok None
+    | Some "" -> Error (err_bad_request "trace must be non-empty")
+    | Some t when String.length t > 128 ->
+        Error (err_bad_request "trace must be at most 128 bytes")
+    | Some _ as t -> Ok t
+  in
+  let* timings = field_bool json "timings" in
+  Ok (trace, Option.value timings ~default:false)
+
 let parse_line line =
   match Json.parse line with
-  | Error msg -> { id = Json.Null; request = Error (err_bad_json msg) }
-  | Ok json ->
+  | Error msg ->
+      { id = Json.Null; trace = None; timings = false;
+        request = Error (err_bad_json msg) }
+  | Ok json -> (
       let id = Option.value (Json.member "id" json) ~default:Json.Null in
-      let request =
-        match json with
-        | Json.Obj _ -> parse_request json
-        | _ -> Error (err_bad_request "request must be a JSON object")
-      in
-      { id; request }
+      match json with
+      | Json.Obj _ -> (
+          match parse_envelope json with
+          | Error e -> { id; trace = None; timings = false; request = Error e }
+          | Ok (trace, timings) ->
+              { id; trace; timings; request = parse_request json })
+      | _ ->
+          { id; trace = None; timings = false;
+            request = Error (err_bad_request "request must be a JSON object") })
 
 (* --- response rendering ------------------------------------------------ *)
 
-let response_ok ~id ~cmd result =
+let response_ok ~id ~cmd ?trace result =
+  let trace_field =
+    match trace with Some tr -> [ ("trace", Json.Str tr) ] | None -> []
+  in
   Json.to_string
     (Json.Obj
-       [ ("id", id); ("ok", Json.Bool true); ("cmd", Json.Str cmd);
-         ("result", result) ])
+       ([ ("id", id); ("ok", Json.Bool true); ("cmd", Json.Str cmd) ]
+       @ trace_field
+       @ [ ("result", result) ]))
 
 let response_error ~id err =
   Json.to_string

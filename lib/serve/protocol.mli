@@ -22,6 +22,9 @@ type follow = { idle_s : float; limit_s : float }
 type request =
   | Ping
   | Stats
+  | Metrics of { stable_only : bool }
+      (** Prometheus text exposition; [stable_only] restricts to the
+          deterministic (cross-[--jobs] byte-identical) series. *)
   | Shutdown
   | Sleep of { ms : float }  (** Load-test / drain-test verb. *)
   | Analyze of {
@@ -45,12 +48,24 @@ val is_job : request -> bool
 (** [true] for verbs that go through the admission queue; control
     verbs (ping/stats/shutdown) answer inline on the event loop. *)
 
-type parsed = { id : Json.t; request : (request, error) result }
+type parsed = {
+  id : Json.t;
+  trace : string option;
+      (** Client-supplied trace id (["trace"]), validated non-empty and
+          at most 128 bytes.  The server generates one when absent. *)
+  timings : bool;
+      (** ["timings": true] opts the response into a per-stage timing
+          breakdown (job verbs only). *)
+  request : (request, error) result;
+}
 
 val parse_line : string -> parsed
 (** Never raises: malformed JSON or a malformed request map to a typed
     [error] (the connection survives).  [id] is echoed when the line
     carried one, [Null] otherwise. *)
 
-val response_ok : id:Json.t -> cmd:string -> Json.t -> string
+val response_ok : id:Json.t -> cmd:string -> ?trace:string -> Json.t -> string
+(** [trace] (job verbs) echoes the request's trace id — client-supplied
+    or server-generated — as a top-level ["trace"] member. *)
+
 val response_error : id:Json.t -> error -> string

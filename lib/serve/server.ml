@@ -25,6 +25,9 @@
 
 module Log = Tdat_obs.Log
 module Obs = Tdat_obs.Metrics
+module Window = Tdat_obs.Window
+module Exemplar = Tdat_obs.Exemplar
+module Prometheus = Tdat_obs.Prometheus
 module Service = Tdat_parallel.Service
 
 type address = [ `Unix of string | `Tcp of string * int ]
@@ -35,6 +38,9 @@ type config = {
   queue_capacity : int;  (** Admission-queue bound (429 beyond it). *)
   cache_capacity : int;  (** Decoded captures/archives kept per kind. *)
   max_line_bytes : int;  (** Requests longer than this close the conn. *)
+  window_slots : int;  (** Ring slots per rolling latency window. *)
+  window_slot_s : float;  (** Seconds of wall time per slot. *)
+  exemplar_capacity : int;  (** Worst requests kept for post-mortems. *)
 }
 
 let default_config =
@@ -44,7 +50,15 @@ let default_config =
     queue_capacity = 64;
     cache_capacity = 16;
     max_line_bytes = 1 lsl 20;
+    window_slots = 12;
+    window_slot_s = 5.;
+    exemplar_capacity = 8;
   }
+
+(* The job verbs, each with its own rolling latency window.  Literal
+   list — window identity is part of the wire surface (stats/metrics
+   label values), not derived from request traffic. *)
+let job_endpoints = [ "sleep"; "analyze"; "check"; "study" ]
 
 let m_requests = Obs.Counter.make ~stable:false "serve.requests"
 let m_errors = Obs.Counter.make ~stable:false "serve.errors"
@@ -81,6 +95,15 @@ type t = {
   draining : bool Atomic.t;
   pending : int Atomic.t;
   started_s : float;
+  (* Request-scoped telemetry.  Always on (request-rate, not
+     packet-rate): [stats], [metrics] and `tdat top` must answer on a
+     daemon started without --metrics.  The registry instruments above
+     stay gated as before. *)
+  req_total : int Atomic.t;
+  err_total : int Atomic.t;
+  trace_seq : int Atomic.t;  (* server-generated trace ids *)
+  windows : (string * Window.t) list;  (* endpoint -> rolling window *)
+  exemplars : Exemplar.t;
   mutable loop : unit Domain.t option;
 }
 
@@ -185,50 +208,73 @@ let series_config ~sender_side =
     { Tdat.Series_gen.default_config with sniffer_location = `Near_sender }
   else Tdat.Series_gen.default_config
 
-let execute_analyze t ~path ~series ~sender_side ~follow =
-  let r, cache_hit = load_pcap t ~follow path in
-  fail_on_pcap_errors r;
-  let results =
-    Tdat.Analyzer.analyze_all ~config:(series_config ~sender_side) ~jobs:1
-      r.Tdat_pkt.Pcap.trace
+(* Per-request stage instrumentation: every job runs its decode /
+   analyze / render phases through [stage], which both emits a span
+   (joining the request's trace via the worker's trace context) and
+   accumulates the wall-clock breakdown echoed by ["timings": true]
+   and kept by the exemplar buffer.  The polymorphic field lets one
+   stager thread through differently-typed stages. *)
+type stager = { stage : 'a. string -> (unit -> 'a) -> 'a }
+
+let execute_analyze t st ~path ~series ~sender_side ~follow =
+  let r, cache_hit =
+    st.stage "serve.decode" (fun () ->
+        let r, hit = load_pcap t ~follow path in
+        fail_on_pcap_errors r;
+        (r, hit))
   in
+  let results =
+    st.stage "serve.analyze" (fun () ->
+        Tdat.Analyzer.analyze_all ~config:(series_config ~sender_side) ~jobs:1
+          r.Tdat_pkt.Pcap.trace)
+  in
+  let output = st.stage "serve.render" (fun () -> Render.analysis ~series results) in
   Json.Obj
     [
-      ("output", Json.Str (Render.analysis ~series results));
+      ("output", Json.Str output);
       ("connections", num_int (List.length results));
       ("cache_hit", Json.Bool cache_hit);
       ("salvage", pcap_salvage r.Tdat_pkt.Pcap.stats);
     ]
 
-let execute_check t ~path =
-  let r, cache_hit = load_pcap t ~follow:None path in
-  let ingest = Tdat_audit.Ingest.of_result r in
+let execute_check t st ~path =
+  let r, cache_hit, ingest =
+    st.stage "serve.decode" (fun () ->
+        let r, hit = load_pcap t ~follow:None path in
+        (r, hit, Tdat_audit.Ingest.of_result r))
+  in
   let results =
-    Tdat.Analyzer.analyze_all
-      ~config:(series_config ~sender_side:false)
-      ~audit:true ~jobs:1 r.Tdat_pkt.Pcap.trace
+    st.stage "serve.analyze" (fun () ->
+        Tdat.Analyzer.analyze_all
+          ~config:(series_config ~sender_side:false)
+          ~audit:true ~jobs:1 r.Tdat_pkt.Pcap.trace)
   in
-  let conn_findings =
-    List.fold_left
-      (fun n (_, a) -> n + List.length a.Tdat.Analyzer.audit)
-      0 results
+  let render =
+    st.stage "serve.render" (fun () ->
+        let conn_findings =
+          List.fold_left
+            (fun n (_, a) -> n + List.length a.Tdat.Analyzer.audit)
+            0 results
+        in
+        let failed =
+          Tdat_audit.Diag.errors ingest <> []
+          || List.exists
+               (fun (_, a) ->
+                 Tdat_audit.Diag.errors a.Tdat.Analyzer.audit <> [])
+               results
+        in
+        Json.Obj
+          [
+            ("ok", Json.Bool (not failed));
+            ("capture_findings", num_int (List.length ingest));
+            ("connection_findings", num_int conn_findings);
+            ("connections", num_int (List.length results));
+            ("cache_hit", Json.Bool cache_hit);
+          ])
   in
-  let failed =
-    Tdat_audit.Diag.errors ingest <> []
-    || List.exists
-         (fun (_, a) -> Tdat_audit.Diag.errors a.Tdat.Analyzer.audit <> [])
-         results
-  in
-  Json.Obj
-    [
-      ("ok", Json.Bool (not failed));
-      ("capture_findings", num_int (List.length ingest));
-      ("connection_findings", num_int conn_findings);
-      ("connections", num_int (List.length results));
-      ("cache_hit", Json.Bool cache_hit);
-    ]
+  render
 
-let execute_study t ~paths ~gap_s ~min_prefixes ~slow_threshold_s ~follow =
+let execute_study t st ~paths ~gap_s ~min_prefixes ~slow_threshold_s ~follow =
   let config =
     {
       Tdat_study.Detect.quiet_gap = Tdat_timerange.Time_us.of_s gap_s;
@@ -236,27 +282,39 @@ let execute_study t ~paths ~gap_s ~min_prefixes ~slow_threshold_s ~follow =
     }
   in
   let hits = ref 0 and misses = ref 0 in
-  let reports =
-    List.map
-      (fun path ->
-        let mr, hit = load_mrt t ~follow path in
-        if hit then incr hits else incr misses;
-        let fr =
-          Tdat_study.Archive.scan_entries ~config ~source:path
-            mr.Tdat_bgp.Mrt.entries
-        in
-        {
-          fr with
-          Tdat_study.Archive.diags = mr.Tdat_bgp.Mrt.diags;
-          stats = mr.Tdat_bgp.Mrt.stats;
-        })
-      paths
+  let loaded =
+    st.stage "serve.decode" (fun () ->
+        List.map
+          (fun path ->
+            let mr, hit = load_mrt t ~follow path in
+            if hit then incr hits else incr misses;
+            (path, mr))
+          paths)
   in
-  let report = Tdat_study.Aggregate.of_reports ?slow_threshold_s reports in
+  let report =
+    st.stage "serve.analyze" (fun () ->
+        let reports =
+          List.map
+            (fun (path, mr) ->
+              let fr =
+                Tdat_study.Archive.scan_entries ~config ~source:path
+                  mr.Tdat_bgp.Mrt.entries
+              in
+              {
+                fr with
+                Tdat_study.Archive.diags = mr.Tdat_bgp.Mrt.diags;
+                stats = mr.Tdat_bgp.Mrt.stats;
+              })
+            loaded
+        in
+        Tdat_study.Aggregate.of_reports ?slow_threshold_s reports)
+  in
   let report_json =
-    match Json.parse (Tdat_study.Report.to_json report) with
-    | Ok j -> j
-    | Error msg -> raise (Fail (Protocol.err_internal ("report json: " ^ msg)))
+    st.stage "serve.render" (fun () ->
+        match Json.parse (Tdat_study.Report.to_json report) with
+        | Ok j -> j
+        | Error msg ->
+            raise (Fail (Protocol.err_internal ("report json: " ^ msg))))
   in
   Json.Obj
     [
@@ -265,17 +323,17 @@ let execute_study t ~paths ~gap_s ~min_prefixes ~slow_threshold_s ~follow =
       ("cache_misses", num_int !misses);
     ]
 
-let execute t (req : Protocol.request) =
+let execute t st (req : Protocol.request) =
   match req with
   | Protocol.Sleep { ms } ->
-      Unix.sleepf (ms /. 1000.);
+      st.stage "serve.sleep" (fun () -> Unix.sleepf (ms /. 1000.));
       Json.Obj [ ("slept_ms", Json.Num ms) ]
   | Protocol.Analyze { path; series; sender_side; follow } ->
-      execute_analyze t ~path ~series ~sender_side ~follow
-  | Protocol.Check { path } -> execute_check t ~path
+      execute_analyze t st ~path ~series ~sender_side ~follow
+  | Protocol.Check { path } -> execute_check t st ~path
   | Protocol.Study { paths; gap_s; min_prefixes; slow_threshold_s; follow } ->
-      execute_study t ~paths ~gap_s ~min_prefixes ~slow_threshold_s ~follow
-  | Protocol.Ping | Protocol.Stats | Protocol.Shutdown ->
+      execute_study t st ~paths ~gap_s ~min_prefixes ~slow_threshold_s ~follow
+  | Protocol.Ping | Protocol.Stats | Protocol.Metrics _ | Protocol.Shutdown ->
       (* Control verbs never reach the queue ([Protocol.is_job]). *)
       raise (Fail (Protocol.err_internal "control verb submitted as job"))
 
@@ -284,23 +342,88 @@ let push_outbox t conn_id line =
   Queue.push (conn_id, line) t.outbox;
   Mutex.unlock t.outbox_m
 
-(* Runs on a pool worker.  The response must reach the outbox BEFORE
-   [pending] is decremented: the drain check exits only at
+(* "serve.decode" -> "decode_us": the stage's timings-object key. *)
+let stage_key name =
+  let short =
+    match String.rindex_opt name '.' with
+    | Some i -> String.sub name (i + 1) (String.length name - i - 1)
+    | None -> name
+  in
+  short ^ "_us"
+
+let timings_json ~queue_wait_us ~total_us stages =
+  Json.Obj
+    (("queue_wait_us", Json.Num queue_wait_us)
+     :: List.map (fun (n, us) -> (stage_key n, Json.Num us)) stages
+    @ [ ("total_us", Json.Num total_us) ])
+
+let with_timings result timings =
+  match result with
+  | Json.Obj fields -> Json.Obj (fields @ [ ("timings", timings) ])
+  | other -> Json.Obj [ ("value", other); ("timings", timings) ]
+
+(* Runs on a pool worker, inside the request's trace context (the
+   service sets it from [submit ~trace] before the job body runs).
+   The response must reach the outbox BEFORE [pending] is decremented:
+   the drain check exits only at
    [pending = 0 && outbox empty && output buffers flushed], so this
    order guarantees no accepted job's response is dropped. *)
-let run_job t conn_id id req =
-  let instrumented = Obs.enabled Obs.default in
-  let started_us = if instrumented then Tdat_obs.Clock.now_us () else 0. in
+let run_job t conn_id id ~trace ~timings ~raw ~enqueued_us req =
+  Atomic.incr t.req_total;
   Obs.Counter.incr m_requests;
-  let line =
-    match execute t req with
-    | result -> Protocol.response_ok ~id ~cmd:(Protocol.cmd_name req) result
-    | exception e ->
-        Obs.Counter.incr m_errors;
-        Protocol.response_error ~id (error_of_exn e)
+  let started_us = Tdat_obs.Clock.now_us () in
+  let stages = ref [] in
+  let st =
+    {
+      stage =
+        (fun name f ->
+          let t0 = Tdat_obs.Clock.now_us () in
+          (* Forwards the literal serve.* stage names from execute_*. *)
+          let r = (Tdat_obs.Span.with_ ~name f [@tdat.lint.allow "L011"]) in
+          stages := (name, Tdat_obs.Clock.now_us () -. t0) :: !stages;
+          r);
+    }
   in
-  if instrumented then
-    Obs.Histogram.observe m_request_us (Tdat_obs.Clock.now_us () -. started_us);
+  let outcome =
+    match
+      Tdat_obs.Span.with_ ~name:"serve.request" (fun () -> execute t st req)
+    with
+    | result -> Ok result
+    | exception e -> Error (error_of_exn e)
+  in
+  let finished_us = Tdat_obs.Clock.now_us () in
+  let queue_wait_us = started_us -. enqueued_us in
+  let total_us = finished_us -. enqueued_us in
+  let endpoint = Protocol.cmd_name req in
+  let stage_list = List.rev !stages in
+  (match List.assoc_opt endpoint t.windows with
+  | Some w -> Window.observe w total_us
+  | None -> ());
+  Exemplar.note t.exemplars
+    {
+      Exemplar.endpoint;
+      trace;
+      duration_us = total_us;
+      at_s = finished_us /. 1e6;
+      stages = ("queue_wait", queue_wait_us) :: stage_list;
+      request = raw;
+    };
+  Obs.Histogram.observe m_request_us (finished_us -. started_us);
+  let line =
+    match outcome with
+    | Ok result ->
+        let result =
+          if timings then
+            with_timings result
+              (timings_json ~queue_wait_us ~total_us stage_list)
+          else result
+        in
+        Protocol.response_ok ~id ~cmd:endpoint ~trace result
+    | Error err ->
+        Atomic.incr t.err_total;
+        Obs.Counter.incr m_errors;
+        Protocol.response_error ~id err
+  in
   push_outbox t conn_id line;
   Atomic.decr t.pending;
   wake t
@@ -320,6 +443,38 @@ let cache_stats_json (s : Cache.stats) =
       ("evictions", num_int s.evictions);
     ]
 
+(* The scratch arena's spill counter (lib/parallel) is registered in
+   the default registry; surfacing it here makes allocator saturation
+   visible from a running daemon without a restart. *)
+let scratch_fallbacks () =
+  match Obs.find_counter Obs.default "scratch.fallbacks" with
+  | Some c -> Obs.Counter.value c
+  | None -> 0
+
+let window_json w =
+  Json.Obj
+    [
+      ("window_s", Json.Num (Window.window_s w));
+      ("count", num_int (Window.count w));
+      ("rps", Json.Num (Window.rate w));
+      ("p50_us", Json.Num (Window.percentile w 0.5));
+      ("p95_us", Json.Num (Window.percentile w 0.95));
+      ("p99_us", Json.Num (Window.percentile w 0.99));
+    ]
+
+let exemplar_json (e : Exemplar.entry) =
+  Json.Obj
+    [
+      ("endpoint", Json.Str e.Exemplar.endpoint);
+      ("trace", Json.Str e.Exemplar.trace);
+      ("duration_us", Json.Num e.Exemplar.duration_us);
+      ("at_s", Json.Num e.Exemplar.at_s);
+      ( "stages",
+        Json.Obj
+          (List.map (fun (n, us) -> (n, Json.Num us)) e.Exemplar.stages) );
+      ("request", Json.Str e.Exemplar.request);
+    ]
+
 let stats_json t conns =
   Json.Obj
     [
@@ -331,16 +486,69 @@ let stats_json t conns =
       ("pending", num_int (Atomic.get t.pending));
       ("connections", num_int (Hashtbl.length conns));
       ("draining", Json.Bool (Atomic.get t.draining));
+      ("requests", num_int (Atomic.get t.req_total));
+      ("errors", num_int (Atomic.get t.err_total));
+      ("scratch_fallbacks", num_int (scratch_fallbacks ()));
       ( "cache",
         Json.Obj
           [
             ("pcap", cache_stats_json (Cache.stats t.caches.pcap));
             ("mrt", cache_stats_json (Cache.stats t.caches.mrt));
           ] );
+      ( "windows",
+        Json.Obj (List.map (fun (ep, w) -> (ep, window_json w)) t.windows) );
+      ( "exemplars",
+        Json.Arr (List.map exemplar_json (Exemplar.worst t.exemplars)) );
     ]
 
+(* The `metrics` verb: Prometheus exposition text.  The registry part
+   is deterministic ([Prometheus.of_registry]); with [stable_only] it
+   is exactly the cross-[--jobs] byte-identical series and nothing
+   else.  Otherwise the serve layer appends its own volatile series:
+   rolling-window percentiles per endpoint, live queue depth, and the
+   scratch spill counter. *)
+let metrics_text t ~stable_only =
+  let buf = Buffer.create 4096 in
+  Buffer.add_string buf (Prometheus.of_registry ~stable_only Obs.default);
+  if not stable_only then begin
+    let windowed name value =
+      Prometheus.add_header buf ~name ~kind:"gauge";
+      List.iter
+        (fun (ep, w) ->
+          Prometheus.add_gauge buf ~name ~labels:[ ("endpoint", ep) ]
+            (value w))
+        t.windows
+    in
+    windowed "serve.window.count" (fun w -> float_of_int (Window.count w));
+    windowed "serve.window.rps" Window.rate;
+    windowed "serve.window.p50_us" (fun w -> Window.percentile w 0.5);
+    windowed "serve.window.p95_us" (fun w -> Window.percentile w 0.95);
+    windowed "serve.window.p99_us" (fun w -> Window.percentile w 0.99);
+    Prometheus.add_header buf ~name:"serve.queue_depth" ~kind:"gauge";
+    Prometheus.add_gauge buf ~name:"serve.queue_depth"
+      (float_of_int (Service.depth t.service));
+    Prometheus.add_header buf ~name:"serve.scratch_fallbacks" ~kind:"gauge";
+    Prometheus.add_gauge buf ~name:"serve.scratch_fallbacks"
+      (float_of_int (scratch_fallbacks ()));
+    Prometheus.add_header buf ~name:"serve.exemplars" ~kind:"gauge";
+    Prometheus.add_gauge buf ~name:"serve.exemplars"
+      (float_of_int (Exemplar.count t.exemplars))
+  end;
+  Buffer.contents buf
+
+let metrics_json t ~stable_only =
+  Json.Obj
+    [
+      ("content_type", Json.Str "text/plain; version=0.0.4");
+      ("stable_only", Json.Bool stable_only);
+      ("body", Json.Str (metrics_text t ~stable_only));
+    ]
+
+let gen_trace t =
+  Printf.sprintf "req-%d" (1 + Atomic.fetch_and_add t.trace_seq 1)
+
 let handle_line t conns conn line =
-  let { Protocol.id; request } = Protocol.parse_line line in
+  let { Protocol.id; trace; timings; request } = Protocol.parse_line line in
   match request with
   | Error e -> enqueue_conn conn (Protocol.response_error ~id e)
   | Ok Protocol.Ping ->
@@ -350,6 +558,10 @@ let handle_line t conns conn line =
   | Ok Protocol.Stats ->
       enqueue_conn conn
         (Protocol.response_ok ~id ~cmd:"stats" (stats_json t conns))
+  | Ok (Protocol.Metrics { stable_only }) ->
+      enqueue_conn conn
+        (Protocol.response_ok ~id ~cmd:"metrics"
+           (metrics_json t ~stable_only))
   | Ok Protocol.Shutdown ->
       enqueue_conn conn
         (Protocol.response_ok ~id ~cmd:"shutdown"
@@ -359,9 +571,15 @@ let handle_line t conns conn line =
       if Atomic.get t.draining then
         enqueue_conn conn (Protocol.response_error ~id Protocol.err_draining)
       else begin
+        let trace =
+          match trace with Some tr -> tr | None -> gen_trace t
+        in
+        let enqueued_us = Tdat_obs.Clock.now_us () in
         Atomic.incr t.pending;
         match
-          Service.submit t.service (fun () -> run_job t conn.conn_id id req)
+          Service.submit ~trace t.service (fun () ->
+              run_job t conn.conn_id id ~trace ~timings ~raw:line ~enqueued_us
+                req)
         with
         | Service.Accepted -> ()
         | Service.Rejected_full ->
@@ -538,8 +756,12 @@ let event_loop t =
             conns
     end
   done;
-  (* Drain complete: every accepted job answered and flushed. *)
-  Service.drain t.service;
+  (* Drain complete: every accepted job answered and flushed.  The
+     service drain (workers joined, their span buffers final) runs
+     inside its own span, so a trace written after [wait] returns —
+     the SIGTERM path — provably contains every in-flight request's
+     spans followed by the drain itself. *)
+  Tdat_obs.Span.with_ ~name:"serve.drain" (fun () -> Service.drain t.service);
   Hashtbl.iter (fun _ conn -> close_quietly conn.fd) conns;
   close_quietly t.listen_fd;
   close_quietly t.wake_r;
@@ -615,6 +837,17 @@ let start config =
       draining = Atomic.make false;
       pending = Atomic.make 0;
       started_s = Unix.gettimeofday ();
+      req_total = Atomic.make 0;
+      err_total = Atomic.make 0;
+      trace_seq = Atomic.make 0;
+      windows =
+        List.map
+          (fun ep ->
+            ( ep,
+              Window.create ~slots:config.window_slots
+                ~slot_s:config.window_slot_s () ))
+          job_endpoints;
+      exemplars = Exemplar.create ~capacity:config.exemplar_capacity;
       loop = None;
     }
   in

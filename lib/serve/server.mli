@@ -14,11 +14,15 @@ type config = {
   queue_capacity : int;  (** Admission-queue bound (429 beyond it). *)
   cache_capacity : int;  (** Decoded captures/archives kept per kind. *)
   max_line_bytes : int;  (** Requests longer than this close the conn. *)
+  window_slots : int;  (** Ring slots per rolling latency window. *)
+  window_slot_s : float;  (** Seconds of wall time per slot. *)
+  exemplar_capacity : int;  (** Worst requests kept for post-mortems. *)
 }
 
 val default_config : config
 (** Loopback TCP on an ephemeral port, [Pool.default_jobs] workers,
-    queue of 64, 16 cached inputs per kind, 1 MiB line limit. *)
+    queue of 64, 16 cached inputs per kind, 1 MiB line limit, a
+    12-slot × 5 s rolling window per endpoint, 8 exemplars. *)
 
 type t
 

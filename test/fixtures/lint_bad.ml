@@ -25,3 +25,7 @@ let parse s = if s = "" then failwith "empty input" else s (* L005 *)
 let complain path = Printf.eprintf "bad file %s\n" path (* L006: stderr *)
 
 let complain_more () = prerr_endline "still bad" (* L006: stderr *)
+
+let m_bad = Obs.Counter.make "Serve.Requests" (* L011: not snake-case *)
+
+let span_of name = Tdat_obs.Span.with_ ~name ignore (* L011: dynamic name *)

@@ -1,0 +1,8 @@
+(* Positive fixture for L011's fence: a deliberately dynamic span name
+   behind [@tdat.lint.allow "L011"] — the forwarding-wrapper shape used
+   by lib/core/analyzer.ml's stage timer, where every actual name at
+   the call sites is a literal.  Must lint clean. *)
+
+let stage name f = (Tdat_obs.Span.timed ~name f [@tdat.lint.allow "L011"])
+
+let run () = stage "conn-profile" (fun () -> 42)

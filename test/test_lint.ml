@@ -43,7 +43,7 @@ let has_code lines code =
 
 let fixture name = Filename.concat "fixtures" name
 
-let codes = [ "L001"; "L002"; "L003"; "L004"; "L005"; "L006" ]
+let codes = [ "L001"; "L002"; "L003"; "L004"; "L005"; "L006"; "L011" ]
 
 (* --- the original per-file rules ------------------------------------------ *)
 
@@ -209,6 +209,26 @@ let test_l009_silent_outside_hot_set () =
     run_lint [ "--treat-as-lib"; fixture "hot_alloc.ml" ]
   in
   Alcotest.(check int) "same file clean without --hot" 0 exit_code;
+  Alcotest.(check (list string)) "no findings" [] lines
+
+(* --- L011 metric/span names ------------------------------------------------- *)
+
+(* Both seeded shapes in the bad fixture must fire: the malformed
+   literal ("Serve.Requests") and the dynamic [~name] pass-through. *)
+let test_l011_both_shapes_reported () =
+  let _, lines = run_lint [ "--treat-as-lib"; fixture "lint_bad.ml" ] in
+  let l011 = List.filter (fun l -> contains_substring l "[L011]") lines in
+  Alcotest.(check int) "two L011 findings" 2 (List.length l011);
+  Alcotest.(check bool) "names the bad literal" true
+    (List.exists (fun l -> contains_substring l "Serve.Requests") l011);
+  Alcotest.(check bool) "flags the dynamic name" true
+    (List.exists (fun l -> contains_substring l "dynamically") l011)
+
+let test_l011_allow_fence_passes () =
+  let exit_code, lines =
+    run_lint [ "--treat-as-lib"; fixture "obs_name_allow.ml" ]
+  in
+  Alcotest.(check int) "fenced dynamic name passes" 0 exit_code;
   Alcotest.(check (list string)) "no findings" [] lines
 
 (* --- --rules selection ------------------------------------------------------ *)
@@ -440,6 +460,10 @@ let suite =
       test_l009_hot_path;
     Alcotest.test_case "L009: silent outside the hot set" `Quick
       test_l009_silent_outside_hot_set;
+    Alcotest.test_case "L011: malformed and dynamic names" `Quick
+      test_l011_both_shapes_reported;
+    Alcotest.test_case "L011: allow fence honored" `Quick
+      test_l011_allow_fence_passes;
     Alcotest.test_case "--rules disables a rule" `Quick test_rules_disable;
     Alcotest.test_case "--rules rejects unknown ids" `Quick
       test_rules_unknown_id_is_usage_error;

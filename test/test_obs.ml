@@ -203,6 +203,248 @@ let test_trace_json_shape () =
   Alcotest.(check int) "every event carries a tid" 4
     (count_occurrences json "\"tid\":")
 
+(* --- trace context and X (complete) events ------------------------------ *)
+
+let test_trace_context_stamps_events () =
+  Tracer.clear ();
+  Tracer.set_enabled true;
+  Alcotest.(check (option string)) "no ambient context" None
+    (Tracer.current_context ());
+  Tracer.with_context (Some "req-1") (fun () ->
+      Alcotest.(check (option string))
+        "context visible inside" (Some "req-1")
+        (Tracer.current_context ());
+      Span.with_ ~name:"ctx-span" ignore);
+  Span.with_ ~name:"bare-span" ignore;
+  Tracer.set_enabled false;
+  Alcotest.(check (option string)) "context restored" None
+    (Tracer.current_context ());
+  let events = Tracer.events () in
+  let stamped =
+    List.filter (fun (e : Tracer.event) -> e.Tracer.trace <> None) events
+  in
+  Alcotest.(check int) "only the contexted span is stamped" 2
+    (List.length stamped);
+  List.iter
+    (fun (e : Tracer.event) ->
+      Alcotest.(check string) "stamped span name" "ctx-span" e.Tracer.name;
+      Alcotest.(check (option string)) "trace id" (Some "req-1") e.Tracer.trace)
+    stamped;
+  let json = Tracer.to_json () in
+  Tracer.clear ();
+  Alcotest.(check int) "args.trace rendered once per stamped event" 2
+    (count_occurrences json "\"args\":{\"trace\":\"req-1\"}")
+
+let test_complete_span_is_selfcontained () =
+  Tracer.clear ();
+  Tracer.set_enabled true;
+  let now = Tdat_obs.Clock.now_us () in
+  Span.with_ ~name:"outer" (fun () ->
+      (* A retroactive span beginning before "outer" began: as a B/E
+         pair this would break nesting; as an X event it must not. *)
+      Tracer.complete_span ~name:"queue-wait" ~begin_us:(now -. 500.)
+        ~dur_us:120.;
+      Tracer.complete_span ~name:"clamped" ~begin_us:now ~dur_us:(-5.));
+  Tracer.set_enabled false;
+  let events = Tracer.events () in
+  Alcotest.(check bool) "balanced (X ignored)" true (Tracer.balanced ());
+  let xs =
+    List.filter (fun (e : Tracer.event) -> e.Tracer.ph = Tracer.X) events
+  in
+  Alcotest.(check int) "two X events" 2 (List.length xs);
+  let wait =
+    List.find
+      (fun (e : Tracer.event) -> String.equal e.Tracer.name "queue-wait")
+      xs
+  in
+  Alcotest.(check (float 1e-9)) "X carries its duration" 120. wait.Tracer.dur;
+  let clamped =
+    List.find
+      (fun (e : Tracer.event) -> String.equal e.Tracer.name "clamped")
+      xs
+  in
+  Alcotest.(check (float 0.)) "negative duration clamps" 0. clamped.Tracer.dur;
+  let json = Tracer.to_json () in
+  Tracer.clear ();
+  Alcotest.(check int) "ph X rendered" 2 (count_occurrences json "\"ph\":\"X\"");
+  Alcotest.(check bool) "dur rendered" true (contains json "\"dur\":120.000")
+
+(* --- rolling time-windowed histogram ------------------------------------ *)
+
+module Window = Tdat_obs.Window
+module Manual = Tdat_obs.Clock.Manual
+
+let window ?buckets clock ~slots ~slot_s =
+  Window.create ?buckets ~now:(Manual.now_s clock) ~slots ~slot_s ()
+
+let test_window_percentile_math () =
+  let clock = Manual.create () in
+  let w = window clock ~slots:4 ~slot_s:1. ~buckets:[| 10.; 100.; 1000. |] in
+  Alcotest.(check (float 0.)) "window span" 4. (Window.window_s w);
+  Alcotest.(check (float 0.)) "empty p95 is 0" 0. (Window.percentile w 0.95);
+  List.iter (Window.observe w) [ 5.; 50.; 500.; 5000. ];
+  Alcotest.(check int) "count" 4 (Window.count w);
+  Alcotest.(check (float 1e-9)) "sum" 5555. (Window.sum w);
+  Alcotest.(check (float 1e-9)) "rate = count / window" 1. (Window.rate w);
+  Alcotest.(check (float 0.)) "p0 hits the first bucket" 10.
+    (Window.percentile w 0.);
+  Alcotest.(check (float 0.)) "p50 = second bound" 100.
+    (Window.percentile w 0.5);
+  Alcotest.(check (float 0.)) "overflow reports last finite bound" 1000.
+    (Window.percentile w 0.99);
+  Alcotest.check_raises "p out of range rejected"
+    (Invalid_argument "Window.percentile: p outside [0,1]") (fun () ->
+      ignore (Window.percentile w 1.5))
+
+let test_window_rotation_boundaries () =
+  let clock = Manual.create () in
+  let w = window clock ~slots:3 ~slot_s:1. ~buckets:[| 100.; 1000. |] in
+  Window.observe w 10.;
+  Manual.set clock 1.2;
+  Window.observe w 20.;
+  Manual.set clock 2.5;
+  Window.observe w 30.;
+  Alcotest.(check int) "all three inside the window" 3 (Window.count w);
+  (* Epoch 3 begins: epoch 0 falls out of the 3-slot window exactly at
+     the boundary. *)
+  Manual.set clock 3.0;
+  Alcotest.(check int) "oldest slot expired at the boundary" 2
+    (Window.count w);
+  (* The new epoch reuses epoch 0's ring slot; its stale contents must
+     not resurface. *)
+  Window.observe w 40.;
+  Alcotest.(check int) "reused slot starts empty" 3 (Window.count w);
+  (* Jump far ahead: everything expires without any intervening
+     observation (reads never mutate, the staleness is filtered). *)
+  Manual.set clock 60.;
+  Alcotest.(check int) "idle window drains to empty" 0 (Window.count w);
+  Alcotest.(check (float 0.)) "empty after drain" 0.
+    (Window.percentile w 0.95);
+  Window.observe w 50.;
+  Window.clear w;
+  Alcotest.(check int) "clear forgets" 0 (Window.count w)
+
+let test_window_rejects_bad_config () =
+  let reject name f =
+    Alcotest.(check bool) name true
+      (try
+         ignore (f ());
+         false
+       with Invalid_argument _ -> true)
+  in
+  reject "zero slots" (fun () -> Window.create ~slots:0 ~slot_s:1. ());
+  reject "non-positive slot_s" (fun () ->
+      Window.create ~slots:4 ~slot_s:0. ());
+  reject "non-increasing bounds" (fun () ->
+      Window.create ~buckets:[| 2.; 1. |] ~slots:4 ~slot_s:1. ())
+
+(* --- slow-request exemplars ---------------------------------------------- *)
+
+module Exemplar = Tdat_obs.Exemplar
+
+let entry ?(trace = "t") ?(stages = []) ~dur () =
+  {
+    Exemplar.endpoint = "analyze";
+    trace;
+    duration_us = dur;
+    at_s = 0.;
+    stages;
+    request = "{\"cmd\":\"analyze\"}";
+  }
+
+let durations t =
+  List.map (fun e -> e.Exemplar.duration_us) (Exemplar.worst t)
+
+let test_exemplar_keeps_k_worst () =
+  let t = Exemplar.create ~capacity:3 in
+  List.iter
+    (fun d -> Exemplar.note t (entry ~dur:d ()))
+    [ 100.; 700.; 50.; 300.; 10.; 500. ];
+  Alcotest.(check int) "capped at capacity" 3 (Exemplar.count t);
+  Alcotest.(check (list (float 0.))) "worst first" [ 700.; 500.; 300. ]
+    (durations t);
+  Exemplar.note t (entry ~dur:5. ());
+  Alcotest.(check (list (float 0.))) "fast request rejected"
+    [ 700.; 500.; 300. ] (durations t);
+  Alcotest.check_raises "non-positive capacity rejected"
+    (Invalid_argument "Exemplar.create: capacity must be positive") (fun () ->
+      ignore (Exemplar.create ~capacity:0))
+
+let test_exemplar_ties_favor_newer () =
+  let t = Exemplar.create ~capacity:2 in
+  Exemplar.note t (entry ~trace:"old" ~dur:100. ());
+  Exemplar.note t (entry ~trace:"new" ~dur:100. ());
+  (match Exemplar.worst t with
+  | [ a; b ] ->
+      Alcotest.(check string) "newer of equals ranks first" "new"
+        a.Exemplar.trace;
+      Alcotest.(check string) "older of equals second" "old" b.Exemplar.trace
+  | _ -> Alcotest.fail "expected two entries");
+  Exemplar.clear t;
+  Alcotest.(check int) "clear forgets" 0 (Exemplar.count t)
+
+(* --- Prometheus exposition ----------------------------------------------- *)
+
+module Prom = Tdat_obs.Prometheus
+
+let test_prometheus_mangle () =
+  Alcotest.(check string) "dots to underscores" "tdat_serve_request_us"
+    (Prom.mangle "serve.request_us");
+  Alcotest.(check string) "dashes to underscores" "tdat_pool_chunk"
+    (Prom.mangle "pool-chunk")
+
+let test_prometheus_exposition_shape () =
+  let reg = Obs.create () in
+  Obs.set_enabled reg true;
+  let c = Obs.Counter.make ~registry:reg "tp.hits" in
+  let g = Obs.Gauge.make ~registry:reg ~stable:false "tp.depth" in
+  let h =
+    Obs.Histogram.make ~registry:reg ~buckets:[| 1.; 2. |] "tp.lat"
+  in
+  Obs.Counter.add c 3;
+  Obs.Gauge.set g 7.;
+  List.iter (Obs.Histogram.observe h) [ 0.5; 1.5; 9. ];
+  let text = Prom.of_registry reg in
+  List.iter
+    (fun needle ->
+      Alcotest.(check bool) (Printf.sprintf "exposition has %S" needle) true
+        (contains text needle))
+    [
+      "# TYPE tdat_tp_hits counter";
+      "tdat_tp_hits_total 3";
+      "# TYPE tdat_tp_depth gauge";
+      "tdat_tp_depth 7.0";
+      "# TYPE tdat_tp_lat histogram";
+      "tdat_tp_lat_bucket{le=\"1.0\"} 1";
+      "tdat_tp_lat_bucket{le=\"2.0\"} 2";
+      "tdat_tp_lat_bucket{le=\"+Inf\"} 3";
+      "tdat_tp_lat_sum 11.0";
+      "tdat_tp_lat_count 3";
+    ];
+  let stable = Prom.of_registry ~stable_only:true reg in
+  Alcotest.(check bool) "stable form keeps the counter" true
+    (contains stable "tdat_tp_hits_total");
+  Alcotest.(check bool) "stable form drops the volatile gauge" false
+    (contains stable "tdat_tp_depth")
+
+let test_prometheus_stable_identical_across_jobs () =
+  (* The serve acceptance bar, reduced to its core: the stable section
+     of the exposition is byte-identical whatever the worker count. *)
+  let trace = fleet_trace () in
+  let exposition jobs =
+    Obs.reset Obs.default;
+    Obs.set_enabled Obs.default true;
+    ignore (Tdat.Analyzer.analyze_all ~jobs trace);
+    let s = Prom.of_registry ~stable_only:true Obs.default in
+    Obs.set_enabled Obs.default false;
+    s
+  in
+  let e1 = exposition 1 in
+  let e2 = exposition 2 in
+  Alcotest.(check string) "stable exposition jobs=1 vs jobs=2" e1 e2;
+  Alcotest.(check bool) "exposition mentions the analyzer" true
+    (contains e1 "tdat_analyzer_analyses_total")
+
 (* --- logger ------------------------------------------------------------ *)
 
 let with_log_buffer f =
@@ -382,6 +624,26 @@ let suite =
     Alcotest.test_case "spans balance across raises" `Quick
       test_span_balanced_on_raise;
     Alcotest.test_case "chrome trace JSON shape" `Quick test_trace_json_shape;
+    Alcotest.test_case "trace context stamps events" `Quick
+      test_trace_context_stamps_events;
+    Alcotest.test_case "X events are self-contained" `Quick
+      test_complete_span_is_selfcontained;
+    Alcotest.test_case "window percentile math" `Quick
+      test_window_percentile_math;
+    Alcotest.test_case "window rotation boundaries" `Quick
+      test_window_rotation_boundaries;
+    Alcotest.test_case "window rejects bad config" `Quick
+      test_window_rejects_bad_config;
+    Alcotest.test_case "exemplars keep the K worst" `Quick
+      test_exemplar_keeps_k_worst;
+    Alcotest.test_case "exemplar ties favor the newer" `Quick
+      test_exemplar_ties_favor_newer;
+    Alcotest.test_case "prometheus name mangling" `Quick
+      test_prometheus_mangle;
+    Alcotest.test_case "prometheus exposition shape" `Quick
+      test_prometheus_exposition_shape;
+    Alcotest.test_case "prometheus stable form identical across jobs" `Quick
+      test_prometheus_stable_identical_across_jobs;
     Alcotest.test_case "log level filtering" `Quick test_log_level_filtering;
     Alcotest.test_case "disabled log closures never run" `Quick
       test_log_closure_laziness;

@@ -10,6 +10,15 @@ module Protocol = Tdat_serve.Protocol
 module Server = Tdat_serve.Server
 module Client = Tdat_serve.Client
 module Scenario = Tdat_bgpsim.Scenario
+module Obs = Tdat_obs.Metrics
+module Tracer = Tdat_obs.Tracer
+
+let contains haystack needle =
+  let nh = String.length haystack and nn = String.length needle in
+  let rec at i =
+    i + nn <= nh && (String.sub haystack i nn = needle || at (i + 1))
+  in
+  at 0
 
 let bin_exe name =
   Filename.concat
@@ -564,6 +573,335 @@ let test_server_study () =
   Sys.remove path;
   Unix.rmdir dir
 
+(* --- protocol: request envelope (trace / timings) ------------------------- *)
+
+let test_protocol_envelope () =
+  let p =
+    Protocol.parse_line "{\"cmd\":\"ping\",\"trace\":\"tr-1\",\"timings\":true}"
+  in
+  Alcotest.(check (option string)) "trace parsed" (Some "tr-1") p.Protocol.trace;
+  Alcotest.(check bool) "timings parsed" true p.Protocol.timings;
+  let p = Protocol.parse_line "{\"cmd\":\"ping\"}" in
+  Alcotest.(check (option string)) "trace absent" None p.Protocol.trace;
+  Alcotest.(check bool) "timings default off" false p.Protocol.timings;
+  let e = request_error "{\"cmd\":\"ping\",\"trace\":\"\"}" in
+  Alcotest.(check string) "empty trace rejected" "bad_request" e.Protocol.code;
+  let e =
+    request_error
+      (Printf.sprintf "{\"cmd\":\"ping\",\"trace\":%S}" (String.make 129 'x'))
+  in
+  Alcotest.(check string) "oversized trace rejected" "bad_request"
+    e.Protocol.code;
+  match
+    (Protocol.parse_line "{\"cmd\":\"metrics\",\"stable_only\":true}")
+      .Protocol.request
+  with
+  | Ok (Protocol.Metrics { stable_only = true }) -> ()
+  | _ -> Alcotest.fail "metrics verb parses"
+
+(* --- server: trace propagation end to end --------------------------------- *)
+
+let test_server_trace_propagation () =
+  let dir = tmpdir () in
+  let path = Filename.concat dir "cap.pcap" in
+  write_capture ~seed:35 ~prefixes:400 path;
+  Tracer.clear ();
+  Tracer.set_enabled true;
+  let server = start_server ~jobs:1 () in
+  let client = Client.connect (Server.address server) in
+  let resp =
+    rpc client
+      [
+        ("cmd", Json.Str "analyze");
+        ("path", Json.Str path);
+        ("trace", Json.Str "tr-e2e");
+        ("timings", Json.Bool true);
+      ]
+  in
+  Alcotest.(check bool) "analyze ok" true (is_ok resp);
+  (match Json.member "trace" resp with
+  | Some (Json.Str "tr-e2e") -> ()
+  | _ -> Alcotest.fail "client trace id echoed");
+  (match result_member resp "timings" with
+  | Some t ->
+      List.iter
+        (fun k ->
+          match Json.member k t with
+          | Some (Json.Num v) ->
+              Alcotest.(check bool) (k ^ " non-negative") true (v >= 0.)
+          | _ -> Alcotest.failf "timings missing %s" k)
+        [ "queue_wait_us"; "decode_us"; "analyze_us"; "render_us"; "total_us" ]
+  | None -> Alcotest.fail "timings echoed when requested");
+  (* No client trace: the server generates one; timings stay opt-in. *)
+  let resp2 =
+    rpc client [ ("cmd", Json.Str "analyze"); ("path", Json.Str path) ]
+  in
+  (match Json.member "trace" resp2 with
+  | Some (Json.Str t) ->
+      Alcotest.(check bool) "generated trace id" true
+        (String.starts_with ~prefix:"req-" t)
+  | _ -> Alcotest.fail "generated trace echoed");
+  Alcotest.(check bool) "timings only on request" true
+    (result_member resp2 "timings" = None);
+  Client.close client;
+  stop_server server;
+  Tracer.set_enabled false;
+  (* The acceptance bar: one request's queue-wait/decode/analyze/render
+     spans form a single connected tree under its trace id. *)
+  let events =
+    List.filter
+      (fun (e : Tracer.event) ->
+        match e.Tracer.trace with Some t -> String.equal t "tr-e2e" | None -> false)
+      (Tracer.events ())
+  in
+  let have name ph =
+    List.exists
+      (fun (e : Tracer.event) ->
+        String.equal e.Tracer.name name && e.Tracer.ph = ph)
+      events
+  in
+  Alcotest.(check bool) "queue-wait X span connected" true
+    (have "service.queue_wait" Tracer.X);
+  List.iter
+    (fun n ->
+      Alcotest.(check bool) (n ^ " begins under the trace") true
+        (have n Tracer.B);
+      Alcotest.(check bool) (n ^ " ends under the trace") true (have n Tracer.E))
+    [ "serve.request"; "serve.decode"; "serve.analyze"; "serve.render" ];
+  Alcotest.(check bool) "trace stays balanced" true (Tracer.balanced ());
+  Tracer.clear ();
+  Sys.remove path;
+  Unix.rmdir dir
+
+(* --- server: the metrics verb --------------------------------------------- *)
+
+let metrics_body resp =
+  match result_member resp "body" with
+  | Some (Json.Str s) -> s
+  | _ -> Alcotest.fail "metrics response has no body"
+
+(* Grammar-level parseability: every line is blank, a comment, or
+   [name{labels} value] with a float-parseable value. *)
+let prometheus_parseable text =
+  String.split_on_char '\n' text
+  |> List.for_all (fun line ->
+         String.equal line ""
+         || String.starts_with ~prefix:"# " line
+         ||
+         match String.rindex_opt line ' ' with
+         | None -> false
+         | Some i -> (
+             let value =
+               String.sub line (i + 1) (String.length line - i - 1)
+             in
+             match float_of_string_opt value with
+             | Some _ -> true
+             | None -> String.equal value "+Inf" || String.equal value "NaN"))
+
+let test_server_metrics_verb () =
+  let dir = tmpdir () in
+  let path = Filename.concat dir "cap.pcap" in
+  write_capture ~seed:36 ~prefixes:400 path;
+  (* The same workload against a jobs=1 and a jobs=2 daemon: the stable
+     exposition must come back byte-identical. *)
+  let exposition jobs =
+    Obs.reset Obs.default;
+    Obs.set_enabled Obs.default true;
+    let server = start_server ~jobs () in
+    let client = Client.connect (Server.address server) in
+    let resp =
+      rpc client [ ("cmd", Json.Str "analyze"); ("path", Json.Str path) ]
+    in
+    Alcotest.(check bool) "analyze ok" true (is_ok resp);
+    let full = rpc client [ ("cmd", Json.Str "metrics") ] in
+    Alcotest.(check bool) "metrics ok" true (is_ok full);
+    (match result_member full "content_type" with
+    | Some (Json.Str "text/plain; version=0.0.4") -> ()
+    | _ -> Alcotest.fail "prometheus content type");
+    let stable =
+      rpc client
+        [ ("cmd", Json.Str "metrics"); ("stable_only", Json.Bool true) ]
+    in
+    Client.close client;
+    stop_server server;
+    Obs.set_enabled Obs.default false;
+    (metrics_body full, metrics_body stable)
+  in
+  let full1, stable1 = exposition 1 in
+  let _, stable2 = exposition 2 in
+  Alcotest.(check bool) "full exposition parseable" true
+    (prometheus_parseable full1);
+  Alcotest.(check bool) "stable exposition parseable" true
+    (prometheus_parseable stable1);
+  Alcotest.(check bool) "registry series exposed" true
+    (contains full1 "tdat_pcap_records_total");
+  Alcotest.(check bool) "rolling-window series exposed" true
+    (contains full1 "tdat_serve_window_p95_us{endpoint=\"analyze\"}");
+  Alcotest.(check bool) "queue-depth gauge exposed" true
+    (contains full1 "tdat_serve_queue_depth");
+  Alcotest.(check bool) "scratch fallbacks exposed" true
+    (contains full1 "tdat_serve_scratch_fallbacks");
+  Alcotest.(check bool) "stable form drops wall-clock series" false
+    (contains stable1 "tdat_serve_queue_depth");
+  Alcotest.(check string) "stable series byte-identical across jobs" stable1
+    stable2;
+  Sys.remove path;
+  Unix.rmdir dir
+
+(* --- server: rolling windows, exemplars, tdat top -------------------------- *)
+
+let test_server_rolling_and_top () =
+  let server = start_server ~jobs:1 () in
+  let addr = Server.address server in
+  let client = Client.connect addr in
+  for _ = 1 to 3 do
+    let resp =
+      rpc client [ ("cmd", Json.Str "sleep"); ("ms", Json.Num 30.) ]
+    in
+    Alcotest.(check bool) "sleep ok" true (is_ok resp)
+  done;
+  let stats = rpc client [ ("cmd", Json.Str "stats") ] in
+  let window ep =
+    match result_member stats "windows" with
+    | Some w -> (
+        match Json.member ep w with
+        | Some x -> x
+        | None -> Alcotest.failf "stats has no %s window" ep)
+    | None -> Alcotest.fail "stats has no windows"
+  in
+  let wfield w name =
+    match Json.member name w with
+    | Some (Json.Num n) -> n
+    | _ -> Alcotest.failf "window missing %s" name
+  in
+  let slow = window "sleep" and idle = window "analyze" in
+  Alcotest.(check (float 0.)) "idle window empty" 0. (wfield idle "count");
+  Alcotest.(check (float 0.)) "idle p95 zero" 0. (wfield idle "p95_us");
+  Alcotest.(check (float 0.)) "slow window counts the sleeps" 3.
+    (wfield slow "count");
+  Alcotest.(check bool) "forced-slow p95 above the idle window's" true
+    (wfield slow "p95_us" > wfield idle "p95_us");
+  Alcotest.(check bool) "p95 reflects the 30ms sleeps" true
+    (wfield slow "p95_us" >= 30_000.);
+  (* The exemplar buffer captured the slow requests, replayable. *)
+  (match result_member stats "exemplars" with
+  | Some (Json.Arr (e :: _)) ->
+      (match Json.member "endpoint" e with
+      | Some (Json.Str "sleep") -> ()
+      | _ -> Alcotest.fail "worst exemplar is a sleep");
+      (match Json.member "trace" e with
+      | Some (Json.Str t) ->
+          Alcotest.(check bool) "exemplar has a trace id" true
+            (String.length t > 0)
+      | _ -> Alcotest.fail "exemplar trace");
+      (match Json.member "request" e with
+      | Some (Json.Str r) ->
+          Alcotest.(check bool) "exemplar request replayable" true
+            (contains r "\"sleep\"")
+      | _ -> Alcotest.fail "exemplar request")
+  | _ -> Alcotest.fail "no exemplars");
+  (match result_member stats "requests" with
+  | Some (Json.Num n) ->
+      Alcotest.(check bool) "request total counted" true (n >= 3.)
+  | _ -> Alcotest.fail "stats.requests");
+  (match result_member stats "scratch_fallbacks" with
+  | Some (Json.Num _) -> ()
+  | _ -> Alcotest.fail "stats.scratch_fallbacks");
+  (* One dashboard frame from the real subcommand against the daemon. *)
+  let port =
+    match addr with
+    | `Tcp (_, p) -> p
+    | `Unix _ -> Alcotest.fail "tcp address expected"
+  in
+  let cmd =
+    Printf.sprintf "%s top --once --host 127.0.0.1 --port %d 2>/dev/null"
+      (Filename.quote tdat_exe) port
+  in
+  let ic = Unix.open_process_in cmd in
+  let out = In_channel.input_all ic in
+  (match Unix.close_process_in ic with
+  | Unix.WEXITED 0 -> ()
+  | Unix.WEXITED n -> Alcotest.failf "tdat top exited %d" n
+  | Unix.WSIGNALED _ | Unix.WSTOPPED _ -> Alcotest.fail "tdat top killed");
+  Alcotest.(check bool) "top renders the header" true
+    (contains out "tdat serve");
+  Alcotest.(check bool) "top renders the window table" true
+    (contains out "endpoint");
+  Alcotest.(check bool) "top renders the worst requests" true
+    (contains out "worst requests");
+  Alcotest.(check bool) "top shows the sleep exemplar" true
+    (contains out "sleep");
+  Client.close client;
+  stop_server server
+
+(* --- server: SIGTERM drain flushes the trace file -------------------------- *)
+
+let test_sigterm_flushes_trace () =
+  (* Satellite regression: the tracer buffers — including the worker
+     domains' — must be merged and written after the drain completes,
+     so the trace file contains the in-flight request AND the drain
+     span itself. *)
+  let dir = tmpdir () in
+  let sock = Filename.concat dir "tdat.sock" in
+  let trace_path = Filename.concat dir "trace.json" in
+  let devnull = Unix.openfile "/dev/null" [ Unix.O_RDWR ] 0 in
+  let pid =
+    Unix.create_process tdat_exe
+      [|
+        "tdat"; "serve"; "--socket"; sock; "--jobs"; "1"; "--trace"; trace_path;
+      |]
+      devnull devnull devnull
+  in
+  Unix.close devnull;
+  let rec connect n =
+    match Client.connect (`Unix sock) with
+    | client -> client
+    | exception Unix.Unix_error ((Unix.ENOENT | Unix.ECONNREFUSED), _, _) ->
+        if n = 0 then Alcotest.fail "serve daemon never came up"
+        else begin
+          Unix.sleepf 0.02;
+          connect (n - 1)
+        end
+  in
+  let client = connect 250 in
+  let stash = Hashtbl.create 8 in
+  Client.send_line client
+    (Json.to_string
+       (Json.Obj
+          [
+            ("cmd", Json.Str "sleep"); ("ms", Json.Num 300.);
+            ("id", Json.Num 1.); ("trace", Json.Str "tr-drain");
+          ]));
+  Unix.sleepf 0.1;
+  Unix.kill pid Sys.sigterm;
+  let r1 = recv_for client stash "1" in
+  Alcotest.(check bool) "job survived SIGTERM" true (is_ok r1);
+  Alcotest.(check bool) "orderly EOF after drain" true
+    (Client.recv_line client = None);
+  Client.close client;
+  (match Unix.waitpid [] pid with
+  | _, Unix.WEXITED 0 -> ()
+  | _, Unix.WEXITED n -> Alcotest.failf "serve exited %d" n
+  | _, (Unix.WSIGNALED n | Unix.WSTOPPED n) ->
+      Alcotest.failf "serve killed by signal %d" n);
+  let trace_json =
+    In_channel.with_open_bin trace_path In_channel.input_all
+  in
+  Alcotest.(check bool) "trace file is a traceEvents object" true
+    (String.starts_with ~prefix:"{\"traceEvents\":[" trace_json);
+  List.iter
+    (fun n ->
+      Alcotest.(check bool)
+        (Printf.sprintf "%s span flushed" n)
+        true
+        (contains trace_json (Printf.sprintf "%S" n)))
+    [ "serve.request"; "serve.sleep"; "service.queue_wait"; "serve.drain" ];
+  Alcotest.(check bool) "request trace id flushed" true
+    (contains trace_json "tr-drain");
+  Sys.remove trace_path;
+  if Sys.file_exists sock then Sys.remove sock;
+  Unix.rmdir dir
+
 let suite =
   [
     Alcotest.test_case "json roundtrip" `Quick test_json_roundtrip;
@@ -584,4 +922,14 @@ let suite =
     Alcotest.test_case "SIGTERM drain (subprocess)" `Quick
       test_server_sigterm_drain;
     Alcotest.test_case "study via cache" `Quick test_server_study;
+    Alcotest.test_case "protocol envelope (trace/timings)" `Quick
+      test_protocol_envelope;
+    Alcotest.test_case "trace propagation end to end" `Quick
+      test_server_trace_propagation;
+    Alcotest.test_case "metrics verb (prometheus)" `Quick
+      test_server_metrics_verb;
+    Alcotest.test_case "rolling windows, exemplars, tdat top" `Quick
+      test_server_rolling_and_top;
+    Alcotest.test_case "SIGTERM drain flushes the trace" `Quick
+      test_sigterm_flushes_trace;
   ]
